@@ -1,0 +1,328 @@
+package containerhpc
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (E1–E5 in DESIGN.md) plus the ablation benches for the
+// design choices DESIGN.md calls out. The benchmarked quantity is the
+// wall cost of regenerating the artifact; every benchmark additionally
+// reports the headline *simulated* metric via b.ReportMetric, so
+// `go test -bench` output doubles as a summary of the reproduction:
+//
+//	sim_s/step     simulated seconds per time step
+//	speedup        simulated speedup (scalability benches)
+//	overhead_pct   container overhead vs bare metal
+//	deploy_s       simulated deployment seconds
+//
+// Full paper-scale sweeps (256 nodes = 12,288 ranks) are executed by
+// `cmd/hpcstudy`; the benches use trimmed sweeps with identical shapes
+// so a full -bench pass stays in the minutes.
+
+import (
+	"testing"
+
+	"repro/internal/appio"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// reduced variants of the paper cases, as in the experiments tests.
+
+func benchLenoxCase() Case {
+	c := ArteryCFDLenox()
+	c.SimSteps = 1
+	c.ModelCGIters = 30
+	return c
+}
+
+func benchCTECase() Case {
+	c := ArteryCFDCTEPower()
+	c.SimSteps = 1
+	c.ModelCGIters = 30
+	return c
+}
+
+func benchFSICase() Case {
+	c := ArteryFSIMareNostrum4()
+	c.ModelCGIters = 40
+	return c
+}
+
+// BenchmarkFig1Lenox regenerates E1: the container-solutions execution
+// comparison on Lenox (4 runtimes × 5 hybrid configurations).
+func BenchmarkFig1Lenox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Fig1(Options{Case: benchLenoxCase()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bare, _ := res.SeriesByLabel("Bare-metal")
+		docker, _ := res.SeriesByLabel("Docker")
+		last := len(bare.Points) - 1
+		b.ReportMetric(float64(docker.Points[last].T-bare.Points[last].T)/
+			float64(bare.Points[last].T)*100, "docker_overhead_pct")
+	}
+}
+
+// BenchmarkFig2CTEPower regenerates E2: portability timings on
+// CTE-POWER (trimmed to 2–8 nodes).
+func BenchmarkFig2CTEPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Fig2(Options{Case: benchCTECase(), NodePoints: []int{2, 8}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		self, _ := res.SeriesByLabel("Singularity self-contained")
+		bare, _ := res.SeriesByLabel("Bare-metal")
+		b.ReportMetric(float64(self.Points[1].T)/float64(bare.Points[1].T), "self_vs_bare_x")
+	}
+}
+
+// BenchmarkFig3MareNostrum4 regenerates E3: FSI strong scaling on
+// MareNostrum4 (trimmed to 4–16 nodes; the full 256-node sweep is
+// `hpcstudy fig3`).
+func BenchmarkFig3MareNostrum4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Fig3(Options{Case: benchFSICase(), NodePoints: []int{4, 16}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bare, _ := res.SeriesByLabel("Bare-metal")
+		self, _ := res.SeriesByLabel("Singularity self-contained")
+		b.ReportMetric(bare.Speedup()[1], "bare_speedup16")
+		b.ReportMetric(self.Speedup()[1], "self_speedup16")
+	}
+}
+
+// BenchmarkSolutionsDeployment regenerates E4: deployment overhead and
+// image sizes of the three container solutions on Lenox.
+func BenchmarkSolutionsDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Solutions(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		docker, _ := res.RowByRuntime("Docker")
+		b.ReportMetric(float64(docker.DeployByNodes[4]), "docker_deploy4n_s")
+	}
+}
+
+// BenchmarkPortabilityMatrix regenerates E5: the build-technique ×
+// architecture matrix.
+func BenchmarkPortabilityMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Portability(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs := 0
+		for _, c := range res.Cells {
+			if c.Runs {
+				runs++
+			}
+		}
+		b.ReportMetric(float64(runs), "runnable_cells")
+	}
+}
+
+// runBenchCell executes one simulation cell for the ablations.
+func runBenchCell(b *testing.B, cl *Cluster, cs Case, nodes, ranks, threads int,
+	place Placement, algo AllreduceAlgo, mode Mode) Result {
+	b.Helper()
+	res, err := RunCell(Cell{
+		Cluster: cl, Runtime: NewBareMetal(), Case: cs,
+		Nodes: nodes, Ranks: ranks, Threads: threads,
+		Placement: place, Allreduce: algo, Mode: mode,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func ablationCase() Case {
+	c := ArteryCFDCTEPower()
+	m, err := NewMesh(128, 128, 96, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	c.FluidMesh = m
+	c.Steps, c.SimSteps = 2, 1
+	c.ModelCGIters = 40
+	return c
+}
+
+// BenchmarkAblationAllreduceAlgorithms compares the four allreduce
+// algorithms on the same 8-node configuration — the collective-choice
+// ablation from DESIGN.md §5.
+func BenchmarkAblationAllreduceAlgorithms(b *testing.B) {
+	algos := []AllreduceAlgo{
+		AllreduceRecursiveDoubling, AllreduceRing,
+		AllreduceReduceBcast, AllreduceHierarchical,
+	}
+	cs := ablationCase()
+	for _, algo := range algos {
+		b.Run(algo.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runBenchCell(b, MareNostrum4(), cs, 8, 8*48, 1, PlaceBlock, algo, ModeModel)
+				b.ReportMetric(float64(res.Exec.TimePerStep), "sim_s/step")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPlacement compares block vs cyclic rank placement on
+// the 1 GbE cluster, where communication locality decides the outcome —
+// cyclic placement turns most halo neighbours inter-node.
+func BenchmarkAblationPlacement(b *testing.B) {
+	cs := benchLenoxCase()
+	for _, place := range []Placement{PlaceBlock, PlaceCyclic} {
+		b.Run(place.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runBenchCell(b, Lenox(), cs, 4, 112, 1, place, AllreduceRecursiveDoubling, ModeModel)
+				b.ReportMetric(float64(res.Exec.TimePerStep), "sim_s/step")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExecModes compares the workload model against the
+// real numerics on a configuration small enough to run both.
+func BenchmarkAblationExecModes(b *testing.B) {
+	for _, mode := range []Mode{ModeModel, ModeReal} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cs := QuickCFD(2)
+			for i := 0; i < b.N; i++ {
+				res := runBenchCell(b, MareNostrum4(), cs, 2, 16, 1, PlaceBlock, AllreduceRecursiveDoubling, mode)
+				b.ReportMetric(float64(res.Exec.TimePerStep), "sim_s/step")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEagerThreshold sweeps the rendezvous cutoff of the
+// 1 GbE transport through an MPI-level exchange pattern.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	for _, thresh := range []ByteSize{1 * 1024, 32 * 1024, 1024 * 1024} {
+		b.Run(thresh.String(), func(b *testing.B) {
+			tr := fabric.GigabitEthernet.Native
+			tr.EagerThreshold = units.ByteSize(thresh)
+			shm := fabric.SharedMemory(8*units.GBps, 0.5*units.Microsecond)
+			cfg := mpi.Config{
+				Ranks: 16, Nodes: 4,
+				NodeOf: func(r int) int { return r / 4 },
+				Path: func(src, dst int) *fabric.Transport {
+					if src/4 == dst/4 {
+						return &shm
+					}
+					return &tr
+				},
+				ComputeDilation: 1,
+			}
+			for i := 0; i < b.N; i++ {
+				st, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					buf := make([]float64, 8192) // 64 KiB: above and below thresholds
+					for iter := 0; iter < 10; iter++ {
+						next := (r.ID() + 4) % r.Size()
+						prev := (r.ID() - 4 + r.Size()) % r.Size()
+						r.SendRecv(next, iter, buf, prev, iter, buf)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(st.End), "sim_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationContention toggles the NIC-sharing model: without
+// injection-port serialization the 1 GbE cluster looks far faster than
+// it is.
+func BenchmarkAblationContention(b *testing.B) {
+	for _, shared := range []bool{true, false} {
+		name := "nic-shared"
+		if !shared {
+			name = "nic-unshared"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := fabric.GigabitEthernet.Native
+			tr.SharesNIC = shared
+			shm := fabric.SharedMemory(8*units.GBps, 0.5*units.Microsecond)
+			cfg := mpi.Config{
+				Ranks: 32, Nodes: 2,
+				NodeOf: func(r int) int { return r / 16 },
+				Path: func(src, dst int) *fabric.Transport {
+					if src/16 == dst/16 {
+						return &shm
+					}
+					return &tr
+				},
+				ComputeDilation: 1,
+			}
+			for i := 0; i < b.N; i++ {
+				st, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					buf := make([]float64, 4096)
+					peer := (r.ID() + 16) % 32
+					for iter := 0; iter < 5; iter++ {
+						r.SendRecv(peer, iter, buf, peer, iter, buf)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(st.End), "sim_s")
+			}
+		})
+	}
+}
+
+// BenchmarkMPIAllreduceScaling measures the simulator itself: virtual
+// allreduce cost and wall cost vs world size.
+func BenchmarkMPIAllreduceScaling(b *testing.B) {
+	for _, ranks := range []int{48, 192, 768} {
+		b.Run(string(rune('0'+ranks/100))+"xx-ranks", func(b *testing.B) {
+			shm := fabric.SharedMemory(10*units.GBps, 0.4*units.Microsecond)
+			opa := fabric.OmniPath100.Native
+			cfg := mpi.Config{
+				Ranks: ranks, Nodes: ranks / 48,
+				NodeOf: func(r int) int { return r / 48 },
+				Path: func(src, dst int) *fabric.Transport {
+					if src/48 == dst/48 {
+						return &shm
+					}
+					return &opa
+				},
+				ComputeDilation: 1,
+				Allreduce:       mpi.AllreduceHierarchical,
+			}
+			for i := 0; i < b.N; i++ {
+				st, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					for iter := 0; iter < 10; iter++ {
+						r.AllreduceScalar(float64(r.ID()), mpi.OpSum)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(st.End/10)*1e6, "sim_µs/allreduce")
+			}
+		})
+	}
+}
+
+// BenchmarkIOStudy regenerates E6: the checkpoint-I/O extension (the
+// paper's named future work).
+func BenchmarkIOStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := IOStudy(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlay, err := res.Find(appio.PathOverlay, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(overlay.Report.Total()), "docker_ckpt_s")
+	}
+}

@@ -1,0 +1,132 @@
+// Command alyasim runs a single simulation cell — one (cluster,
+// runtime, image technique, case, configuration) combination — and
+// prints its deployment and execution breakdown.
+//
+// Examples:
+//
+//	alyasim -cluster MareNostrum4 -runtime Singularity -kind self-contained \
+//	        -case fsi-mn4 -nodes 16 -threads 1
+//	alyasim -cluster Lenox -runtime Docker -case cfd-lenox -nodes 4 -ranks 56 -threads 2
+//	alyasim -cluster Lenox -runtime Bare-metal -case quick-cfd -mode real -nodes 2 -ranks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	containerhpc "repro"
+)
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "Lenox", "Lenox | MareNostrum4 | CTE-POWER | ThunderX")
+		runtimeName = flag.String("runtime", "Singularity", "Bare-metal | Docker | Singularity | Shifter")
+		kindName    = flag.String("kind", "system-specific", "system-specific | self-contained")
+		caseName    = flag.String("case", "quick-cfd", "cfd-lenox | cfd-ctepower | fsi-mn4 | quick-cfd | quick-fsi")
+		nodes       = flag.Int("nodes", 2, "allocation size in nodes")
+		ranks       = flag.Int("ranks", 0, "MPI ranks (default nodes × cores/node ÷ threads)")
+		threads     = flag.Int("threads", 1, "OpenMP threads per rank")
+		modeName    = flag.String("mode", "model", "model | real")
+		algoName    = flag.String("allreduce", "recursive-doubling", "recursive-doubling | ring | reduce+bcast | hierarchical")
+		steps       = flag.Int("steps", 0, "override simulated steps (0 = case default)")
+	)
+	flag.Parse()
+
+	cl, err := containerhpc.ClusterByName(*clusterName)
+	fatal(err)
+	rt, err := containerhpc.RuntimeByName(*runtimeName)
+	fatal(err)
+
+	kind := containerhpc.SystemSpecific
+	switch *kindName {
+	case "system-specific":
+	case "self-contained":
+		kind = containerhpc.SelfContained
+	default:
+		fatal(fmt.Errorf("unknown build kind %q", *kindName))
+	}
+
+	var cs containerhpc.Case
+	switch *caseName {
+	case "cfd-lenox":
+		cs = containerhpc.ArteryCFDLenox()
+	case "cfd-ctepower":
+		cs = containerhpc.ArteryCFDCTEPower()
+	case "fsi-mn4":
+		cs = containerhpc.ArteryFSIMareNostrum4()
+	case "quick-cfd":
+		cs = containerhpc.QuickCFD(5)
+	case "quick-fsi":
+		cs = containerhpc.QuickFSI(5)
+	default:
+		fatal(fmt.Errorf("unknown case %q", *caseName))
+	}
+	if *steps > 0 {
+		cs.Steps = *steps
+		if cs.SimSteps > *steps {
+			cs.SimSteps = *steps
+		}
+	}
+
+	mode := containerhpc.ModeModel
+	if *modeName == "real" {
+		mode = containerhpc.ModeReal
+	}
+
+	var algo containerhpc.AllreduceAlgo
+	switch *algoName {
+	case "recursive-doubling":
+		algo = containerhpc.AllreduceRecursiveDoubling
+	case "ring":
+		algo = containerhpc.AllreduceRing
+	case "reduce+bcast":
+		algo = containerhpc.AllreduceReduceBcast
+	case "hierarchical":
+		algo = containerhpc.AllreduceHierarchical
+	default:
+		fatal(fmt.Errorf("unknown allreduce algorithm %q", *algoName))
+	}
+
+	r := *ranks
+	if r == 0 {
+		r = *nodes * cl.CoresPerNode() / *threads
+	}
+
+	img, err := containerhpc.BuildImage(rt, cl, kind)
+	fatal(err)
+
+	res, err := containerhpc.RunCell(containerhpc.Cell{
+		Cluster: cl, Runtime: rt, Image: img, Case: cs,
+		Nodes: *nodes, Ranks: r, Threads: *threads,
+		Placement: containerhpc.PlaceBlock, Mode: mode, Allreduce: algo,
+	})
+	fatal(err)
+
+	fmt.Printf("cell: %s / %s (%s) / %s  —  %d nodes × %d ranks × %d threads [%v]\n",
+		cl.Name, rt.Name(), *kindName, cs.Name, *nodes, r, *threads, mode)
+	if img != nil {
+		fmt.Printf("image:      %s  %v (%v compressed, %s)\n",
+			img.Ref(), img.Size(), img.CompressedSize(), img.Format)
+	}
+	fmt.Printf("deploy:     total %v  (pull %v, convert %v, stage %v, start %v)\n",
+		res.Deploy.Total(), res.Deploy.PullTime, res.Deploy.ConvertTime,
+		res.Deploy.StageTime, res.Deploy.StartTime)
+	fmt.Printf("fabric:     %s\n", res.Exec.FabricPath)
+	fmt.Printf("launch:     %v\n", res.Exec.LaunchTime)
+	fmt.Printf("time/step:  %v\n", res.Exec.TimePerStep)
+	fmt.Printf("elapsed:    %v  (%d steps)\n", res.Exec.Elapsed, cs.Steps)
+	fmt.Printf("mpi:        %d messages, %v payload, max comm %v\n",
+		res.Exec.MPI.TotalMessages, res.Exec.MPI.TotalBytes, res.Exec.MPI.MaxCommTime)
+	if mode == containerhpc.ModeReal {
+		fmt.Printf("solver:     avg CG iters/step %.1f, final max|div u| %.3e\n",
+			res.Exec.AvgCGIters, res.Exec.MaxDivergence)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alyasim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command calibrate is a development harness for checking figure shapes
+// and simulation wall costs while tuning model constants.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+func main() {
+	which := "fig1"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	start := time.Now()
+	switch which {
+	case "fig1":
+		small := alya.ArteryCFDLenox()
+		small.SimSteps = 1
+		f, err := experiments.Fig1(experiments.Options{Case: small})
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		f.Render(os.Stdout)
+	case "fig2":
+		small := alya.ArteryCFDCTEPower()
+		small.SimSteps = 1
+		f, err := experiments.Fig2(experiments.Options{Case: small, NodePoints: []int{2, 4, 8, 12, 16}})
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		f.Render(os.Stdout)
+	case "fig3":
+		small := alya.ArteryFSIMareNostrum4()
+		f, err := experiments.Fig3(experiments.Options{Case: small, NodePoints: []int{4, 8, 16, 32, 64}})
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		f.Render(os.Stdout)
+	case "fsibreak":
+		mn4 := cluster.MareNostrum4()
+		cs := alya.ArteryFSIMareNostrum4()
+		sing := container.Singularity{}
+		for _, kind := range []container.BuildKind{container.SystemSpecific, container.SelfContained} {
+			img, _ := core.BuildImageFor(sing, mn4, kind)
+			for _, n := range []int{4, 16, 64} {
+				res, err := core.RunCell(core.Cell{
+					Cluster: mn4, Runtime: sing, Image: img, Case: cs,
+					Nodes: n, Ranks: n * 48, Threads: 1,
+					Placement: sched.PlaceBlock, Allreduce: mpi.AllreduceReduceBcast,
+				})
+				if err != nil {
+					fmt.Println("error:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-16s n=%-4d step=%-10v commFrac=%.3f maxComm=%v avgComm=%v\n",
+					kind, n, res.Exec.TimePerStep, res.Exec.CommFraction,
+					res.Exec.MPI.MaxCommTime, res.Exec.MPI.AvgCommTime)
+			}
+		}
+	case "solutions":
+		s, err := experiments.Solutions(experiments.Options{})
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		s.Render(os.Stdout)
+	}
+	fmt.Println("wall:", time.Since(start))
+}

@@ -1,0 +1,154 @@
+// Command hpcstudy regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	hpcstudy [-quick] [-csv] <fig1|fig2|fig3|solutions|portability|iostudy|all>
+//
+// Without -quick every experiment runs at paper scale; fig3's 256-node
+// point simulates 12,288 MPI ranks and takes several minutes of wall
+// time. -quick trims the sweeps to a laptop-friendly subset with the
+// same qualitative shapes. -csv emits machine-readable data instead of
+// tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	containerhpc "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: hpcstudy [-quick] [-csv] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	which := flag.Arg(0)
+	w := os.Stdout
+
+	run := func(name string, f func(io.Writer) error) {
+		start := time.Now()
+		if err := f(w); err != nil {
+			fmt.Fprintf(os.Stderr, "hpcstudy %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "  (%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	jobs := map[string]func(io.Writer) error{
+		"fig1":        func(w io.Writer) error { return fig1(w, *quick, *csv) },
+		"fig2":        func(w io.Writer) error { return fig2(w, *quick, *csv) },
+		"fig3":        func(w io.Writer) error { return fig3(w, *quick, *csv) },
+		"solutions":   func(w io.Writer) error { return solutions(w) },
+		"portability": func(w io.Writer) error { return portability(w) },
+		"iostudy":     func(w io.Writer) error { return iostudy(w) },
+	}
+	if which == "all" {
+		for _, name := range []string{"solutions", "fig1", "fig2", "fig3", "portability", "iostudy"} {
+			run(name, jobs[name])
+		}
+		return
+	}
+	f, ok := jobs[which]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(which, f)
+}
+
+func fig1(w io.Writer, quick, csv bool) error {
+	opt := containerhpc.Options{}
+	if quick {
+		c := containerhpc.ArteryCFDLenox()
+		c.SimSteps = 1
+		opt.Case = c
+	}
+	res, err := containerhpc.Fig1(opt)
+	if err != nil {
+		return err
+	}
+	if csv {
+		res.CSV(w)
+	} else {
+		res.Render(w)
+	}
+	return nil
+}
+
+func fig2(w io.Writer, quick, csv bool) error {
+	opt := containerhpc.Options{}
+	if quick {
+		c := containerhpc.ArteryCFDCTEPower()
+		c.SimSteps = 1
+		opt.Case = c
+		opt.NodePoints = []int{2, 4, 8, 16}
+	}
+	res, err := containerhpc.Fig2(opt)
+	if err != nil {
+		return err
+	}
+	if csv {
+		res.CSV(w)
+	} else {
+		res.Render(w)
+	}
+	return nil
+}
+
+func fig3(w io.Writer, quick, csv bool) error {
+	opt := containerhpc.Options{}
+	if quick {
+		opt.NodePoints = []int{4, 8, 16, 32, 64}
+	}
+	res, err := containerhpc.Fig3(opt)
+	if err != nil {
+		return err
+	}
+	if csv {
+		res.CSV(w)
+		return nil
+	}
+	res.Render(w)
+	fmt.Fprintln(w)
+	res.RenderChart(w)
+	return nil
+}
+
+func solutions(w io.Writer) error {
+	res, err := containerhpc.Solutions(containerhpc.Options{})
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}
+
+func portability(w io.Writer) error {
+	res, err := containerhpc.Portability(containerhpc.Options{})
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}
+
+func iostudy(w io.Writer) error {
+	res, err := containerhpc.IOStudy(containerhpc.Options{})
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}

@@ -1,0 +1,100 @@
+package containerhpc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClustersPresets(t *testing.T) {
+	cls := Clusters()
+	if len(cls) != 4 {
+		t.Fatalf("%d clusters", len(cls))
+	}
+	names := map[string]bool{}
+	for _, c := range cls {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{"Lenox", "MareNostrum4", "CTE-POWER", "ThunderX"} {
+		if !names[want] {
+			t.Errorf("missing cluster %s", want)
+		}
+		if _, err := ClusterByName(want); err != nil {
+			t.Errorf("ClusterByName(%s): %v", want, err)
+		}
+	}
+}
+
+func TestPublicRunCell(t *testing.T) {
+	cl := Lenox()
+	rt := NewSingularity()
+	img, err := BuildImage(rt, cl, SystemSpecific)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCell(Cell{
+		Cluster: cl, Runtime: rt, Image: img,
+		Case:  QuickCFD(3),
+		Nodes: 2, Ranks: 8, Threads: 1,
+		Mode: ModeReal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.TimePerStep <= 0 {
+		t.Fatalf("time/step %v", res.Exec.TimePerStep)
+	}
+	if res.Exec.AvgCGIters <= 1 {
+		t.Fatalf("CG iterations %v", res.Exec.AvgCGIters)
+	}
+}
+
+func TestPublicRuntimes(t *testing.T) {
+	if len(Runtimes()) != 4 {
+		t.Fatal("expected four runtimes")
+	}
+	for _, name := range []string{"Bare-metal", "Docker", "Singularity", "Shifter"} {
+		rt, err := RuntimeByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Name() != name {
+			t.Fatalf("runtime %q", rt.Name())
+		}
+	}
+}
+
+func TestPublicCases(t *testing.T) {
+	for _, cs := range []Case{
+		ArteryCFDLenox(), ArteryCFDCTEPower(), ArteryFSIMareNostrum4(),
+		QuickCFD(2), QuickFSI(2),
+	} {
+		if err := cs.Validate(); err != nil {
+			t.Errorf("%s: %v", cs.Name, err)
+		}
+	}
+}
+
+func TestPublicPortability(t *testing.T) {
+	res, err := Portability(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "exec format error") {
+		t.Fatal("portability matrix incomplete")
+	}
+}
+
+func TestPublicSolutions(t *testing.T) {
+	res, err := Solutions(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d solution rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,44 @@
+// FSI coupling: run the two-code fluid–structure simulation with real
+// numerics — one group of MPI ranks solves blood flow (Navier–Stokes),
+// a second group solves the artery wall (dynamic elasticity), and the
+// groups exchange wall traction and wall motion every coupling
+// iteration, exactly like Alya's multi-code FSI runs in the paper.
+//
+// Run with: go run ./examples/fsi_coupling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	containerhpc "repro"
+)
+
+func main() {
+	cl := containerhpc.CTEPower()
+	rt := containerhpc.NewSingularity()
+	img, err := containerhpc.BuildImage(rt, cl, containerhpc.SystemSpecific)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cs := containerhpc.QuickFSI(6)
+	res, err := containerhpc.RunCell(containerhpc.Cell{
+		Cluster: cl, Runtime: rt, Image: img, Case: cs,
+		Nodes: 2, Ranks: 8, Threads: 1,
+		Mode: containerhpc.ModeReal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("coupled FSI on %s under %s (%s)\n", cl.Name, rt.Name(), res.Exec.FabricPath)
+	fmt.Printf("  fluid mesh %d cells + wall mesh %d cells, %d steps\n",
+		cs.FluidMesh.Cells(), cs.SolidMesh.Cells(), cs.Steps)
+	fmt.Printf("  ranks: %d total (fluid fraction %.0f%%), 2 coupled code instances\n",
+		res.Exec.Ranks, cs.FluidFraction*100)
+	fmt.Printf("  time/step %v, avg pressure-CG iters/step %.1f\n",
+		res.Exec.TimePerStep, res.Exec.AvgCGIters)
+	fmt.Printf("  MPI: %d messages, %v moved\n",
+		res.Exec.MPI.TotalMessages, res.Exec.MPI.TotalBytes)
+}

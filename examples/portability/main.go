@@ -1,0 +1,27 @@
+// Portability: build the same application image with the paper's two
+// techniques and attempt to run it on all three architectures
+// (Skylake/amd64, Power9/ppc64le, ThunderX/arm64), reproducing the
+// §B.2 portability trade-off:
+//
+//   - a self-contained image runs on any matching-ISA host but is stuck
+//     on the TCP network path;
+//   - a system-specific image gets the fast fabric but only runs where
+//     its host ABI matches.
+//
+// Run with: go run ./examples/portability
+package main
+
+import (
+	"log"
+	"os"
+
+	containerhpc "repro"
+)
+
+func main() {
+	res, err := containerhpc.Portability(containerhpc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,36 @@
+// Scalability: a reduced version of the paper's Figure 3 — strong
+// scaling of the coupled FSI case on MareNostrum4 for bare metal vs
+// Singularity with system-specific and self-contained images. The
+// system-specific container tracks bare metal; the self-contained one
+// falls off the Omni-Path onto IP-over-OPA TCP and stops scaling.
+//
+// Run with: go run ./examples/scalability
+// (simulates up to 1,536 MPI ranks; takes a minute or two)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	containerhpc "repro"
+)
+
+func main() {
+	res, err := containerhpc.Fig3(containerhpc.Options{
+		NodePoints: []int{4, 8, 16, 32},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Render(os.Stdout)
+
+	fmt.Println("\nParallel efficiency per variant:")
+	for _, s := range res.Series {
+		fmt.Printf("  %-32s", s.Label)
+		for i, e := range s.Efficiency() {
+			fmt.Printf("  %d:%.0f%%", s.Points[i].X, e*100)
+		}
+		fmt.Println()
+	}
+}

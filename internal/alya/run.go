@@ -1,0 +1,492 @@
+package alya
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+	"repro/internal/mpi"
+	"repro/internal/navier"
+	"repro/internal/omp"
+	"repro/internal/sched"
+	"repro/internal/solid"
+	"repro/internal/units"
+)
+
+func workUnits(f float64) units.Flops    { return units.Flops(f) }
+func byteUnits(b float64) units.ByteSize { return units.ByteSize(b) }
+
+// decomposeFor partitions a code's mesh over its ranks, aligning the z
+// split with the nodes the rank block [firstRank, firstRank+ranks)
+// spans under the job's block placement, so node boundaries are clean
+// mesh cross-sections (what a topology-aware partitioner produces).
+// When the group does not tile whole nodes the alignment degrades
+// gracefully to the unaligned decomposition.
+func decomposeFor(m mesh.Mesh, ranks int, job *sched.Job, firstRank int) (mesh.Grid, error) {
+	align := 1
+	if job.Placement == sched.PlaceBlock &&
+		firstRank%job.RanksPerNode == 0 && ranks%job.RanksPerNode == 0 {
+		align = ranks / job.RanksPerNode
+	}
+	for ; align >= 1; align-- {
+		if ranks%align != 0 {
+			continue
+		}
+		g, err := mesh.DecomposeAligned(m, ranks, align)
+		if err == nil {
+			return g, nil
+		}
+	}
+	return mesh.Decompose(m, ranks)
+}
+
+// Mode selects between the real-numerics and workload-model executions.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeModel charges compute analytically and moves correctly sized
+	// zero payloads. Scales to the paper's 12,288-core runs.
+	ModeModel Mode = iota
+	// ModeReal runs the actual solvers with real data.
+	ModeReal
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeModel:
+		return "model"
+	case ModeReal:
+		return "real"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Spec fully describes one execution cell.
+type Spec struct {
+	// Job is the validated placement (cluster, nodes, ranks, threads).
+	Job *sched.Job
+	// Profile is the container runtime's execution profile.
+	Profile container.ExecProfile
+	// Case is the Alya configuration.
+	Case Case
+	// Mode selects real numerics or the workload model.
+	Mode Mode
+	// Allreduce picks the collective algorithm (default recursive
+	// doubling; the big FSI runs use reduce+bcast, whose binomial
+	// trees over block placement act as a hierarchical reduction —
+	// see the ablation bench).
+	Allreduce mpi.AllreduceAlgo
+}
+
+// Result reports one execution cell.
+type Result struct {
+	// Case, Runtime, FabricPath identify the cell.
+	Case       string
+	Runtime    string
+	FabricPath string
+	// Nodes, Ranks, Threads echo the configuration.
+	Nodes, Ranks, Threads int
+	// TimePerStep is the steady-state time per physical step.
+	TimePerStep units.Seconds
+	// Elapsed is TimePerStep × Case.Steps — the figure's y axis.
+	Elapsed units.Seconds
+	// LaunchTime covers srun fan-out, container start skew, and the
+	// initial barrier.
+	LaunchTime units.Seconds
+	// MPI holds the transport statistics.
+	MPI mpi.Stats
+	// CommFraction is max rank MPI time / total solver time.
+	CommFraction float64
+	// AvgCGIters is the mean pressure-CG iteration count per step.
+	AvgCGIters float64
+	// MaxDivergence is the final max |∇·u| (ModeReal only).
+	MaxDivergence float64
+}
+
+// Run executes one cell.
+func Run(spec Spec) (Result, error) {
+	if spec.Job == nil {
+		return Result{}, fmt.Errorf("alya: no job")
+	}
+	if err := spec.Case.Validate(); err != nil {
+		return Result{}, err
+	}
+	job := spec.Job
+	intra := spec.Profile.IntraNode
+	inter := spec.Profile.InterNode
+	if err := intra.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := inter.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	model := omp.DefaultModel(job.Cluster.Node)
+	model.RanksPerNode = job.RanksPerNode
+
+	launch := job.LaunchLatency()
+	perRank := spec.Profile.LaunchPerRank
+	cfg := mpi.Config{
+		Ranks:  job.Ranks,
+		Nodes:  job.Nodes,
+		NodeOf: job.NodeOf,
+		Path: func(src, dst int) *fabric.Transport {
+			if job.SameNode(src, dst) {
+				return &intra
+			}
+			return &inter
+		},
+		ComputeDilation: spec.Profile.ComputeDilation,
+		Allreduce:       spec.Allreduce,
+		StartupSkew: func(rank int) units.Seconds {
+			local := rank % job.RanksPerNode
+			return launch + perRank*units.Seconds(local+1)
+		},
+	}
+
+	run := runState{spec: spec, model: model}
+	var body func(r *mpi.Rank)
+	switch spec.Case.Kind {
+	case CFD:
+		grid, err := decomposeFor(spec.Case.FluidMesh, job.Ranks, job, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		run.fluidGrid = grid
+		body = run.cfdBody
+	case FSI:
+		fluidRanks := int(float64(job.Ranks) * spec.Case.FluidFraction)
+		if fluidRanks < 1 {
+			fluidRanks = 1
+		}
+		if fluidRanks >= job.Ranks {
+			fluidRanks = job.Ranks - 1
+		}
+		fg, err := decomposeFor(spec.Case.FluidMesh, fluidRanks, job, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		sg, err := decomposeFor(spec.Case.SolidMesh, job.Ranks-fluidRanks, job, fluidRanks)
+		if err != nil {
+			return Result{}, err
+		}
+		run.fluidGrid, run.solidGrid = fg, sg
+		run.fluidRanks = fluidRanks
+		body = run.fsiBody
+	default:
+		return Result{}, fmt.Errorf("alya: unknown case kind %v", spec.Case.Kind)
+	}
+
+	st, err := mpi.Run(cfg, body)
+	if err != nil {
+		return Result{}, err
+	}
+	if run.err != nil {
+		return Result{}, run.err
+	}
+
+	perStep := run.solveTime / units.Seconds(spec.Case.SimSteps)
+	res := Result{
+		Case:        spec.Case.Name,
+		Runtime:     spec.Profile.RuntimeName,
+		FabricPath:  spec.Profile.FabricPath,
+		Nodes:       job.Nodes,
+		Ranks:       job.Ranks,
+		Threads:     job.ThreadsPerRank,
+		TimePerStep: perStep,
+		Elapsed:     perStep * units.Seconds(spec.Case.Steps),
+		LaunchTime:  run.solveStart,
+		MPI:         st,
+		AvgCGIters:  run.cgIters / float64(spec.Case.SimSteps),
+	}
+	if run.solveTime > 0 {
+		res.CommFraction = float64(st.MaxCommTime-run.startupComm) / float64(run.solveTime)
+		if res.CommFraction < 0 {
+			res.CommFraction = 0
+		}
+	}
+	res.MaxDivergence = run.maxDiv
+	return res, nil
+}
+
+// runState carries cross-rank result channels. All fields written by
+// rank bodies are written under the sequential vtime scheduler, so no
+// locking is needed; rank 0 owns the scalar outcomes.
+type runState struct {
+	spec      Spec
+	model     omp.Model
+	fluidGrid mesh.Grid
+	solidGrid mesh.Grid
+	// fluidRanks is the world size of the fluid code (FSI).
+	fluidRanks int
+
+	solveStart  units.Seconds
+	solveTime   units.Seconds
+	startupComm units.Seconds
+	cgIters     float64
+	maxDiv      float64
+	err         error
+}
+
+// fail records the first error; subsequent ranks keep the original.
+func (rs *runState) fail(err error) {
+	if rs.err == nil {
+		rs.err = err
+	}
+}
+
+// cfdBody is the per-rank program of the CFD case.
+func (rs *runState) cfdBody(r *mpi.Rank) {
+	comm := r.World()
+	part := rs.fluidGrid.Part(comm.Rank())
+	rc := newRankComm(comm, part, rs.model, rs.spec.Job.ThreadsPerRank)
+
+	r.Barrier()
+	start := r.Now()
+	if r.ID() == 0 {
+		rs.solveStart = start
+		rs.startupComm = r.CommTime()
+	}
+
+	switch rs.spec.Mode {
+	case ModeReal:
+		solver, err := navier.NewSolver(part, rs.spec.Case.FluidParams, rc)
+		if err != nil {
+			rs.fail(err)
+			return
+		}
+		for step := 0; step < rs.spec.Case.SimSteps; step++ {
+			stats, err := solver.Step()
+			if err != nil {
+				rs.fail(err)
+				return
+			}
+			if r.ID() == 0 {
+				rs.cgIters += float64(stats.CGIterations)
+				rs.maxDiv = stats.MaxDivergence
+			}
+		}
+	default:
+		for step := 0; step < rs.spec.Case.SimSteps; step++ {
+			rs.modelCFDStep(rc, part)
+		}
+		if r.ID() == 0 {
+			rs.cgIters = float64(rs.spec.Case.ModelCGIters * rs.spec.Case.SimSteps)
+		}
+	}
+
+	r.Barrier()
+	if r.ID() == 0 {
+		rs.solveTime = r.Now() - start
+	}
+}
+
+// modelCFDStep mirrors navier.(*Solver).Step's compute/communication
+// structure without touching field data.
+func (rs *runState) modelCFDStep(rc *rankComm, part mesh.Partition) {
+	cells := float64(part.Cells())
+	// Tentative velocity: assemble, then exchange the three components.
+	rc.Charge(cells*navier.AssemblyFlopsPerCell, cells*navier.AssemblyBytesPerCell)
+	rc.ExchangeModel(3)
+	// Pressure CG: per iteration one stencil apply (with its pressure
+	// halo) and two global dot products.
+	for it := 0; it < rs.spec.Case.ModelCGIters; it++ {
+		rc.Charge(cells*navier.CGIterFlopsPerCell, cells*navier.CGIterBytesPerCell)
+		rc.ExchangeModel(1)
+		rc.AllSum(1)
+		rc.AllSum(1)
+	}
+	// Projection, pressure halo, final velocity sync and diagnostics.
+	rc.Charge(cells*navier.ProjectionFlopsPerCell, cells*navier.ProjectionBytesPerCell)
+	rc.ExchangeModel(1)
+	rc.ExchangeModel(3)
+	rc.AllMax(1)
+	rc.AllMax(1)
+}
+
+// fsiBody is the per-rank program of the coupled FSI case: world ranks
+// [0, fluidRanks) run the fluid code, the rest run the solid code, and
+// the two exchange interface data every coupling iteration — two code
+// instances, exactly as the paper describes.
+func (rs *runState) fsiBody(r *mpi.Rank) {
+	isFluid := r.ID() < rs.fluidRanks
+	var group []int
+	if isFluid {
+		group = seq(0, rs.fluidRanks)
+	} else {
+		group = seq(rs.fluidRanks, r.Size())
+	}
+	comm, err := r.NewComm(group)
+	if err != nil {
+		rs.fail(err)
+		return
+	}
+
+	solidRanks := r.Size() - rs.fluidRanks
+	// Pairing: fluid comm-rank f couples with solid comm-rank
+	// f*solidRanks/fluidRanks; the reverse mapping on the solid side
+	// enumerates its fluid partners deterministically.
+	pairOfFluid := func(f int) int { return f * solidRanks / rs.fluidRanks }
+
+	r.Barrier()
+	start := r.Now()
+	if r.ID() == 0 {
+		rs.solveStart = start
+		rs.startupComm = r.CommTime()
+	}
+
+	if isFluid {
+		rs.fluidFSI(r, comm, pairOfFluid)
+	} else {
+		rs.solidFSI(r, comm, pairOfFluid)
+	}
+	if rs.err != nil {
+		return
+	}
+
+	r.Barrier()
+	if r.ID() == 0 {
+		rs.solveTime = r.Now() - start
+	}
+}
+
+// interfaceCells returns the coupling-payload size for a fluid rank:
+// its wall-adjacent cell count (≥ 1 so every pair exchanges something,
+// as Alya's coupling keeps all ranks in the communication schedule).
+func interfaceCells(part mesh.Partition) int {
+	n := part.WallCells()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// fluidFSI runs the fluid side: a CFD step plus coupling exchanges.
+func (rs *runState) fluidFSI(r *mpi.Rank, comm *mpi.Comm, pairOfFluid func(int) int) {
+	part := rs.fluidGrid.Part(comm.Rank())
+	rc := newRankComm(comm, part, rs.model, rs.spec.Job.ThreadsPerRank)
+	peer := rs.fluidRanks + pairOfFluid(comm.Rank()) // world rank of solid partner
+	iface := interfaceCells(part)
+	traction := make([]float64, iface)
+	motion := make([]float64, iface)
+
+	var solver *navier.Solver
+	if rs.spec.Mode == ModeReal {
+		var err error
+		solver, err = navier.NewSolver(part, rs.spec.Case.FluidParams, rc)
+		if err != nil {
+			rs.fail(err)
+			return
+		}
+	}
+
+	for step := 0; step < rs.spec.Case.SimSteps; step++ {
+		if rs.spec.Mode == ModeReal {
+			stats, err := solver.Step()
+			if err != nil {
+				rs.fail(err)
+				return
+			}
+			if r.ID() == 0 {
+				rs.cgIters += float64(stats.CGIterations)
+				rs.maxDiv = stats.MaxDivergence
+			}
+		} else {
+			rs.modelCFDStep(rc, part)
+			if r.ID() == 0 {
+				rs.cgIters += float64(rs.spec.Case.ModelCGIters)
+			}
+		}
+		for ci := 0; ci < rs.spec.Case.CouplingIters; ci++ {
+			if rs.spec.Mode == ModeReal {
+				wp := solver.WallPressure()
+				for i := range traction {
+					traction[i] = wp
+				}
+			}
+			r.Send(peer, tagCoupleTraction, traction)
+			r.Recv(peer, tagCoupleMotion, motion)
+			if rs.spec.Mode == ModeReal {
+				solver.SetWallVelocity(motion[0] * 1e-3)
+			}
+		}
+	}
+}
+
+// solidFSI runs the structural side: wall substeps plus coupling.
+func (rs *runState) solidFSI(r *mpi.Rank, comm *mpi.Comm, pairOfFluid func(int) int) {
+	part := rs.solidGrid.Part(comm.Rank())
+	rc := newRankComm(comm, part, rs.model, rs.spec.Job.ThreadsPerRank)
+
+	// Enumerate the fluid comm-ranks paired to this solid comm-rank.
+	var partners []int
+	for f := 0; f < rs.fluidRanks; f++ {
+		if pairOfFluid(f) == comm.Rank() {
+			partners = append(partners, f)
+		}
+	}
+	// Interface payload sizes follow the fluid partner's wall size.
+	bufs := make([][]float64, len(partners))
+	for i, f := range partners {
+		bufs[i] = make([]float64, interfaceCells(rs.fluidGrid.Part(f)))
+	}
+
+	var solver *solid.Solver
+	if rs.spec.Mode == ModeReal {
+		var err error
+		solver, err = solid.NewSolver(part, rs.spec.Case.SolidParams, rc)
+		if err != nil {
+			rs.fail(err)
+			return
+		}
+	}
+
+	cells := float64(part.Cells())
+	for step := 0; step < rs.spec.Case.SimSteps; step++ {
+		var meanVel float64
+		for sub := 0; sub < rs.spec.Case.SolidSubsteps; sub++ {
+			if rs.spec.Mode == ModeReal {
+				stats, err := solver.Step()
+				if err != nil {
+					rs.fail(err)
+					return
+				}
+				meanVel = stats.MeanRadialVelocity
+			} else {
+				rc.Charge(cells*solid.StepFlopsPerCell, cells*solid.StepBytesPerCell)
+				rc.ExchangeModel(3)
+				rc.AllSum(1)
+				rc.AllSum(1)
+				rc.AllMax(1)
+			}
+		}
+		for ci := 0; ci < rs.spec.Case.CouplingIters; ci++ {
+			var tractionSum float64
+			for i, f := range partners {
+				r.Recv(f, tagCoupleTraction, bufs[i])
+				tractionSum += bufs[i][0]
+			}
+			if rs.spec.Mode == ModeReal && len(partners) > 0 {
+				solver.SetTraction(tractionSum / float64(len(partners)))
+			}
+			for i, f := range partners {
+				for j := range bufs[i] {
+					bufs[i][j] = meanVel
+				}
+				r.Send(f, tagCoupleMotion, bufs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package container
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/units"
+)
+
+// ExecProfile is what a runtime hands the MPI layer: which transports
+// ranks get, how computation is dilated, and what launching costs.
+type ExecProfile struct {
+	// RuntimeName identifies the producing runtime in reports.
+	RuntimeName string
+	// IntraNode is the path between ranks on the same node.
+	IntraNode fabric.Transport
+	// InterNode is the path between ranks on different nodes.
+	InterNode fabric.Transport
+	// ComputeDilation multiplies compute durations (cgroup accounting,
+	// storage-driver page-cache overhead). 1.0 = bare metal.
+	ComputeDilation float64
+	// LaunchPerRank is the per-rank container instantiation cost,
+	// charged as start-up skew.
+	LaunchPerRank units.Seconds
+	// FabricPath documents which network path inter-node traffic uses.
+	FabricPath string
+}
+
+// DeployReport breaks down the time from "job submitted" to "image
+// ready on every allocated node" — the paper's deployment-overhead
+// metric.
+type DeployReport struct {
+	// Runtime and Image identify the deployment.
+	Runtime string
+	Image   string
+	// Nodes is the allocation size.
+	Nodes int
+	// WireSize is the bytes fetched from the registry (after layer
+	// dedup), summed over all fetches.
+	WireSize units.ByteSize
+	// StoredSize is the image's footprint once staged.
+	StoredSize units.ByteSize
+	// PullTime is registry→cluster transfer time.
+	PullTime units.Seconds
+	// ConvertTime is format-conversion time (docker→SIF, gateway
+	// squashing). Zero when no conversion happens.
+	ConvertTime units.Seconds
+	// StageTime distributes/extracts the image onto compute nodes.
+	StageTime units.Seconds
+	// StartTime instantiates the container environment on every node
+	// (daemon container create, SUID mount, loop mount).
+	StartTime units.Seconds
+}
+
+// Total is the full deployment overhead.
+func (d DeployReport) Total() units.Seconds {
+	return d.PullTime + d.ConvertTime + d.StageTime + d.StartTime
+}
+
+// Runtime is a container technology as the study exercises it.
+type Runtime interface {
+	// Name is the runtime's name, e.g. "Singularity".
+	Name() string
+	// Available reports whether the runtime can be installed and used
+	// on the cluster (Docker needs root).
+	Available(c *cluster.Cluster) error
+	// ImageFor converts a built OCI image into whatever format this
+	// runtime executes. Bare metal returns nil.
+	ImageFor(oci *Image) (*Image, error)
+	// Deploy computes the deployment overhead of staging img on n
+	// nodes of the cluster.
+	Deploy(c *cluster.Cluster, img *Image, nodes int) (DeployReport, error)
+	// ExecProfile validates img against the cluster and returns the
+	// execution profile MPI runs under.
+	ExecProfile(c *cluster.Cluster, img *Image) (ExecProfile, error)
+}
+
+// checkCompat validates ISA and host-ABI compatibility, shared by all
+// containerized runtimes.
+func checkCompat(c *cluster.Cluster, img *Image) error {
+	if img == nil {
+		return fmt.Errorf("container: nil image")
+	}
+	if img.Arch != c.ISA() {
+		return fmt.Errorf("%w: image %s is %s, host %s is %s",
+			ErrWrongArch, img.Ref(), img.Arch, c.Name, c.ISA())
+	}
+	if img.Kind == SystemSpecific && img.HostABI != c.HostABI {
+		return fmt.Errorf("%w: image %s binds %q, host %s provides %q",
+			ErrHostABI, img.Ref(), img.HostABI, c.Name, c.HostABI)
+	}
+	return nil
+}
+
+// interPath picks the inter-node transport an image's MPI can drive:
+// the native fabric when the host stack is bound (system-specific), the
+// TCP fallback when the image is self-contained.
+func interPath(c *cluster.Cluster, img *Image) (fabric.Transport, string) {
+	if img.Kind == SelfContained {
+		t := c.Interconnect.TCPFallback
+		return t, t.Name
+	}
+	t := c.Interconnect.Native
+	return t, t.Name
+}
+
+// Registry keeps built images addressable by reference and tracks which
+// layer digests a cluster has already cached, so repeated pulls dedup.
+type Registry struct {
+	images map[string]*Image
+	cached map[string]map[string]bool // cluster name -> layer digest -> present
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		images: make(map[string]*Image),
+		cached: make(map[string]map[string]bool),
+	}
+}
+
+// Push stores an image under its reference; same-reference pushes with
+// a different format are stored under ref+format to mirror multi-format
+// repositories.
+func (r *Registry) Push(img *Image) {
+	r.images[r.key(img.Ref(), img.Format)] = img
+}
+
+// Pull finds an image by reference and format.
+func (r *Registry) Pull(ref string, f Format) (*Image, error) {
+	img, ok := r.images[r.key(ref, f)]
+	if !ok {
+		return nil, fmt.Errorf("container: image %s (%v) not in registry", ref, f)
+	}
+	return img, nil
+}
+
+func (r *Registry) key(ref string, f Format) string {
+	return fmt.Sprintf("%s@%v", ref, f)
+}
+
+// MissingBytes returns the on-wire bytes a cluster still needs to fetch
+// for img, honouring the layer cache, and marks those layers cached.
+func (r *Registry) MissingBytes(clusterName string, img *Image) units.ByteSize {
+	cache := r.cached[clusterName]
+	if cache == nil {
+		cache = make(map[string]bool)
+		r.cached[clusterName] = cache
+	}
+	var need units.ByteSize
+	for _, l := range img.Layers {
+		if !cache[l.Digest] {
+			need += l.CompressedSize
+			cache[l.Digest] = true
+		}
+	}
+	return need
+}
+
+// ResetCache clears a cluster's layer cache (cold-deployment studies).
+func (r *Registry) ResetCache(clusterName string) {
+	delete(r.cached, clusterName)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/sched"
+)
+
+func TestRunCellBareMetal(t *testing.T) {
+	res, err := RunCell(Cell{
+		Cluster: cluster.Lenox(),
+		Runtime: container.BareMetal{},
+		Case:    alya.QuickCFD(2),
+		Nodes:   2, Ranks: 8, Threads: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.TimePerStep <= 0 {
+		t.Fatalf("time/step %v", res.Exec.TimePerStep)
+	}
+	if res.Deploy.Runtime != "Bare-metal" {
+		t.Fatalf("deploy runtime %q", res.Deploy.Runtime)
+	}
+}
+
+func TestRunCellAllRuntimesOnLenox(t *testing.T) {
+	lenox := cluster.Lenox()
+	for _, rt := range container.Runtimes() {
+		img, err := BuildImageFor(rt, lenox, container.SystemSpecific)
+		if err != nil {
+			t.Fatalf("%s: %v", rt.Name(), err)
+		}
+		res, err := RunCell(Cell{
+			Cluster: lenox, Runtime: rt, Image: img,
+			Case:  alya.QuickCFD(2),
+			Nodes: 2, Ranks: 8, Threads: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", rt.Name(), err)
+		}
+		if res.Exec.Runtime != rt.Name() {
+			t.Fatalf("%s: result labelled %q", rt.Name(), res.Exec.Runtime)
+		}
+	}
+}
+
+func TestRunCellDockerNeedsRoot(t *testing.T) {
+	mn4 := cluster.MareNostrum4()
+	d := container.Docker{}
+	img, err := BuildImageFor(d, mn4, container.SystemSpecific)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunCell(Cell{
+		Cluster: mn4, Runtime: d, Image: img,
+		Case:  alya.QuickCFD(2),
+		Nodes: 2, Ranks: 8, Threads: 1,
+	})
+	if !errors.Is(err, container.ErrNeedsRoot) {
+		t.Fatalf("docker on MN4: %v", err)
+	}
+}
+
+func TestRunCellValidatesPlan(t *testing.T) {
+	_, err := RunCell(Cell{
+		Cluster: cluster.Lenox(),
+		Runtime: container.BareMetal{},
+		Case:    alya.QuickCFD(2),
+		Nodes:   4, Ranks: 7, Threads: 1, // 7 ranks over 4 nodes
+	})
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	_, err = RunCell(Cell{})
+	if err == nil {
+		t.Fatal("empty cell accepted")
+	}
+}
+
+func TestBuildImageForFormats(t *testing.T) {
+	lenox := cluster.Lenox()
+	img, err := BuildImageFor(container.Singularity{}, lenox, container.SelfContained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Format != container.FormatSIF {
+		t.Fatalf("singularity image format %v", img.Format)
+	}
+	img, err = BuildImageFor(container.Shifter{}, lenox, container.SystemSpecific)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Format != container.FormatSquashFS {
+		t.Fatalf("shifter image format %v", img.Format)
+	}
+	img, err = BuildImageFor(container.BareMetal{}, lenox, container.SystemSpecific)
+	if err != nil || img != nil {
+		t.Fatalf("bare metal image: %v, %v", img, err)
+	}
+}
+
+func TestSelfContainedSlowerInterNode(t *testing.T) {
+	// The central claim of Fig. 2/3 at cell granularity: on a
+	// fast-fabric machine, the self-contained image must run slower
+	// than the system-specific one for a multi-node job.
+	cte := cluster.CTEPower()
+	s := container.Singularity{}
+	cs := alya.QuickCFD(2)
+	run := func(kind container.BuildKind) Result {
+		img, err := BuildImageFor(s, cte, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunCell(Cell{
+			Cluster: cte, Runtime: s, Image: img, Case: cs,
+			Nodes: 2, Ranks: 16, Threads: 1, Placement: sched.PlaceBlock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sys := run(container.SystemSpecific)
+	self := run(container.SelfContained)
+	if self.Exec.TimePerStep <= sys.Exec.TimePerStep {
+		t.Fatalf("self-contained (%v) not slower than system-specific (%v)",
+			self.Exec.TimePerStep, sys.Exec.TimePerStep)
+	}
+}

@@ -1,0 +1,70 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation:
+//
+//	Fig1        — container solutions on Lenox (hybrid sweep)
+//	Fig2        — portability on CTE-POWER (2–16 nodes)
+//	Fig3        — scalability on MareNostrum4 (4–256 nodes, FSI)
+//	Solutions   — §B.1 deployment overhead and image sizes (table)
+//	Portability — §B.2 build-technique × architecture matrix
+//
+// Every experiment takes an Options value whose zero value reproduces
+// the paper-scale configuration; tests shrink the sweep to keep
+// runtimes reasonable while asserting the same curve shapes.
+package experiments
+
+import (
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// Options tunes an experiment's sweep without changing its structure.
+type Options struct {
+	// NodePoints overrides the swept node counts (Fig2, Fig3,
+	// Solutions). Nil means the paper's points.
+	NodePoints []int
+	// Case overrides the Alya case. Zero-name means the paper's case.
+	Case alya.Case
+	// Mode selects the execution mode (default ModeModel).
+	Mode alya.Mode
+}
+
+func (o Options) caseOr(def alya.Case) alya.Case {
+	if o.Case.Name == "" {
+		return def
+	}
+	return o.Case
+}
+
+func (o Options) nodesOr(def []int) []int {
+	if len(o.NodePoints) == 0 {
+		return def
+	}
+	return o.NodePoints
+}
+
+// runCell is the shared cell executor: build the image for the runtime
+// and technique, then run the configuration.
+func runCell(cl *cluster.Cluster, rt container.Runtime, kind container.BuildKind,
+	cs alya.Case, nodes, ranks, threads int, mode alya.Mode, algo mpi.AllreduceAlgo) (core.Result, error) {
+
+	img, err := core.BuildImageFor(rt, cl, kind)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.RunCell(core.Cell{
+		Cluster:   cl,
+		Runtime:   rt,
+		Image:     img,
+		Case:      cs,
+		Nodes:     nodes,
+		Ranks:     ranks,
+		Threads:   threads,
+		Placement: sched.PlaceBlock,
+		Mode:      mode,
+		Allreduce: algo,
+	})
+}

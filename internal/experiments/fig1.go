@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// HybridConfig is one x-axis point of Fig. 1: an MPI ranks × OpenMP
+// threads decomposition of Lenox's 112 cores.
+type HybridConfig struct {
+	Ranks, Threads int
+}
+
+// String renders the paper's "R×T" axis label.
+func (h HybridConfig) String() string { return fmt.Sprintf("%dx%d", h.Ranks, h.Threads) }
+
+// Fig1Configs are the paper's five hybrid configurations.
+func Fig1Configs() []HybridConfig {
+	return []HybridConfig{{8, 14}, {16, 7}, {28, 4}, {56, 2}, {112, 1}}
+}
+
+// Fig1Result holds the reproduced Fig. 1: average elapsed time of the
+// artery CFD case on Lenox for bare-metal, Singularity, Shifter, and
+// Docker across hybrid configurations.
+type Fig1Result struct {
+	// Configs are the x-axis points.
+	Configs []HybridConfig
+	// Series holds one curve per runtime, in study order (Bare-metal,
+	// Docker, Singularity, Shifter); Point.X is the rank count.
+	Series []metrics.Series
+}
+
+// SeriesByLabel finds a curve by runtime name.
+func (f *Fig1Result) SeriesByLabel(label string) (*metrics.Series, error) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: fig1 has no series %q", label)
+}
+
+// Fig1 reproduces the paper's Figure 1 on the Lenox cluster.
+func Fig1(opt Options) (*Fig1Result, error) {
+	lenox := cluster.Lenox()
+	cs := opt.caseOr(alya.ArteryCFDLenox())
+	configs := Fig1Configs()
+	out := &Fig1Result{Configs: configs}
+	for _, rt := range container.Runtimes() {
+		s := metrics.Series{Label: rt.Name()}
+		for _, hc := range configs {
+			res, err := runCell(lenox, rt, container.SystemSpecific, cs,
+				lenox.TotalNodes, hc.Ranks, hc.Threads, opt.Mode, mpi.AllreduceRecursiveDoubling)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s %v: %w", rt.Name(), hc, err)
+			}
+			s.Points = append(s.Points, metrics.Point{X: hc.Ranks, T: res.Exec.Elapsed})
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// Render writes the figure as a table (rows = configurations).
+func (f *Fig1Result) Render(w io.Writer) {
+	headers := []string{"MPI x threads"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label+" [s]")
+	}
+	t := report.NewTable("Fig 1: average elapsed time of the artery CFD case in Lenox", headers...)
+	for i, hc := range f.Configs {
+		row := []interface{}{hc.String()}
+		for _, s := range f.Series {
+			row = append(row, report.Seconds(s.Points[i].T))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// CSV writes the figure data as CSV.
+func (f *Fig1Result) CSV(w io.Writer) {
+	headers := []string{"config"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	t := report.NewTable("", headers...)
+	for i, hc := range f.Configs {
+		row := []interface{}{hc.String()}
+		for _, s := range f.Series {
+			row = append(row, float64(s.Points[i].T))
+		}
+		t.AddRow(row...)
+	}
+	t.CSV(w)
+}
+
+// BestConfig returns the configuration with the lowest bare-metal time
+// (the sweet spot of the hybrid sweep).
+func (f *Fig1Result) BestConfig() HybridConfig {
+	best, bestT := f.Configs[0], units.Seconds(0)
+	for i, hc := range f.Configs {
+		t := f.Series[0].Points[i].T
+		if i == 0 || t < bestT {
+			best, bestT = hc, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/report"
+)
+
+// Fig2Variant is one curve of Fig. 2.
+type Fig2Variant struct {
+	// Label is the curve name.
+	Label string
+	// Runtime executes the variant (BareMetal or Singularity).
+	Runtime container.Runtime
+	// Kind is the image-building technique (ignored for bare metal).
+	Kind container.BuildKind
+}
+
+// Fig2Variants returns the paper's three variants.
+func Fig2Variants() []Fig2Variant {
+	return []Fig2Variant{
+		{Label: "Bare-metal", Runtime: container.BareMetal{}},
+		{Label: "Singularity system-specific", Runtime: container.Singularity{Version: "2.5.1"}, Kind: container.SystemSpecific},
+		{Label: "Singularity self-contained", Runtime: container.Singularity{Version: "2.5.1"}, Kind: container.SelfContained},
+	}
+}
+
+// Fig2Result holds the reproduced Fig. 2: average elapsed time of the
+// artery CFD case on CTE-POWER, 2–16 nodes.
+type Fig2Result struct {
+	// Nodes are the x-axis points.
+	Nodes []int
+	// Series holds the three curves; Point.X is the node count.
+	Series []metrics.Series
+	// Fabrics records which network path each variant used.
+	Fabrics []string
+}
+
+// SeriesByLabel finds a curve by variant name.
+func (f *Fig2Result) SeriesByLabel(label string) (*metrics.Series, error) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: fig2 has no series %q", label)
+}
+
+// Fig2 reproduces the paper's Figure 2 on CTE-POWER.
+func Fig2(opt Options) (*Fig2Result, error) {
+	cte := cluster.CTEPower()
+	cs := opt.caseOr(alya.ArteryCFDCTEPower())
+	nodes := opt.nodesOr([]int{2, 4, 6, 8, 10, 12, 14, 16})
+	out := &Fig2Result{Nodes: nodes}
+	for _, v := range Fig2Variants() {
+		s := metrics.Series{Label: v.Label}
+		fabricPath := ""
+		for _, n := range nodes {
+			ranks := n * cte.CoresPerNode()
+			res, err := runCell(cte, v.Runtime, v.Kind, cs, n, ranks, 1,
+				opt.Mode, mpi.AllreduceRecursiveDoubling)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s %d nodes: %w", v.Label, n, err)
+			}
+			s.Points = append(s.Points, metrics.Point{X: n, T: res.Exec.Elapsed})
+			fabricPath = res.Exec.FabricPath
+		}
+		out.Series = append(out.Series, s)
+		out.Fabrics = append(out.Fabrics, fabricPath)
+	}
+	return out, nil
+}
+
+// Render writes the figure as a table (rows = node counts).
+func (f *Fig2Result) Render(w io.Writer) {
+	headers := []string{"Nodes"}
+	for i, s := range f.Series {
+		headers = append(headers, fmt.Sprintf("%s [s] (%s)", s.Label, f.Fabrics[i]))
+	}
+	t := report.NewTable("Fig 2: average elapsed time of artery CFD case in CTE-POWER", headers...)
+	for i, n := range f.Nodes {
+		row := []interface{}{n}
+		for _, s := range f.Series {
+			row = append(row, report.Seconds(s.Points[i].T))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// CSV writes the figure data as CSV.
+func (f *Fig2Result) CSV(w io.Writer) {
+	headers := []string{"nodes"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	t := report.NewTable("", headers...)
+	for i, n := range f.Nodes {
+		row := []interface{}{n}
+		for _, s := range f.Series {
+			row = append(row, float64(s.Points[i].T))
+		}
+		t.AddRow(row...)
+	}
+	t.CSV(w)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/report"
+)
+
+// Fig3Result holds the reproduced Fig. 3: strong-scaling speedup of the
+// artery FSI case on MareNostrum4, 4–256 nodes, each variant normalized
+// to its own 4-node run (the paper's normalization).
+type Fig3Result struct {
+	// Nodes are the x-axis points.
+	Nodes []int
+	// Series holds elapsed times per variant.
+	Series []metrics.Series
+	// Fabrics records which network path each variant used.
+	Fabrics []string
+}
+
+// Fig3 reproduces the paper's Figure 3 on MareNostrum4. The big FSI
+// runs use the hierarchical (shared-memory-aware) allreduce that any
+// production MPI applies at this scale; the ablation bench compares the
+// flat algorithms.
+func Fig3(opt Options) (*Fig3Result, error) {
+	mn4 := cluster.MareNostrum4()
+	cs := opt.caseOr(alya.ArteryFSIMareNostrum4())
+	nodes := opt.nodesOr([]int{4, 8, 16, 32, 64, 128, 256})
+	out := &Fig3Result{Nodes: nodes}
+	for _, v := range Fig2Variants() { // same three variants as Fig. 2
+		s := metrics.Series{Label: v.Label}
+		fabricPath := ""
+		for _, n := range nodes {
+			ranks := n * mn4.CoresPerNode()
+			res, err := runCell(mn4, v.Runtime, v.Kind, cs, n, ranks, 1,
+				opt.Mode, mpi.AllreduceHierarchical)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %d nodes: %w", v.Label, n, err)
+			}
+			s.Points = append(s.Points, metrics.Point{X: n, T: res.Exec.Elapsed})
+			fabricPath = res.Exec.FabricPath
+		}
+		out.Series = append(out.Series, s)
+		out.Fabrics = append(out.Fabrics, fabricPath)
+	}
+	return out, nil
+}
+
+// SeriesByLabel finds a curve by variant name.
+func (f *Fig3Result) SeriesByLabel(label string) (*metrics.Series, error) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: fig3 has no series %q", label)
+}
+
+// Render writes the figure as a table of speedups plus the ideal line.
+func (f *Fig3Result) Render(w io.Writer) {
+	headers := []string{"Nodes", "Ideal"}
+	for i, s := range f.Series {
+		headers = append(headers, fmt.Sprintf("%s (%s)", s.Label, f.Fabrics[i]))
+	}
+	t := report.NewTable("Fig 3: scalability (speedup vs own 4-node run) of Alya artery FSI in MareNostrum4", headers...)
+	speedups := make([][]float64, len(f.Series))
+	for i := range f.Series {
+		speedups[i] = f.Series[i].Speedup()
+	}
+	base := float64(f.Nodes[0])
+	for i, n := range f.Nodes {
+		row := []interface{}{n, fmt.Sprintf("%.1f", float64(n)/base)}
+		for si := range f.Series {
+			row = append(row, fmt.Sprintf("%.2f", speedups[si][i]))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// CSV writes elapsed times and speedups as CSV.
+func (f *Fig3Result) CSV(w io.Writer) {
+	headers := []string{"nodes"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label+"_seconds", s.Label+"_speedup")
+	}
+	t := report.NewTable("", headers...)
+	speedups := make([][]float64, len(f.Series))
+	for i := range f.Series {
+		speedups[i] = f.Series[i].Speedup()
+	}
+	for i, n := range f.Nodes {
+		row := []interface{}{n}
+		for si, s := range f.Series {
+			row = append(row, float64(s.Points[i].T), speedups[si][i])
+		}
+		t.AddRow(row...)
+	}
+	t.CSV(w)
+}
+
+// RenderChart writes the speedup curves as an ASCII chart, the closest
+// textual analogue of the paper's plot.
+func (f *Fig3Result) RenderChart(w io.Writer) {
+	speedups := make([][]float64, len(f.Series))
+	for i := range f.Series {
+		speedups[i] = f.Series[i].Speedup()
+	}
+	c := report.Chart{
+		Title:  "Fig 3: FSI speedup vs nodes (each variant normalized to its 4-node run)",
+		YLabel: "speedup",
+		Series: f.Series,
+		Values: speedups,
+	}
+	c.Render(w)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// PortabilityCell is one (image build, target cluster) attempt.
+type PortabilityCell struct {
+	// ImageArch and Kind identify the build; BuiltFor names the host
+	// ABI a system-specific image binds.
+	ImageArch topology.ISA
+	Kind      container.BuildKind
+	BuiltFor  string
+	// Cluster is the target machine.
+	Cluster string
+	// Runs reports whether the image executes there.
+	Runs bool
+	// Why explains a failure ("wrong architecture", "host ABI
+	// mismatch") or names the fabric path used on success.
+	Why string
+	// SlowdownVsBare is elapsed time relative to bare metal on the
+	// same cluster and configuration (successful runs only).
+	SlowdownVsBare float64
+}
+
+// PortabilityResult holds the §B.2 matrix: the same containerized
+// application built with two techniques, attempted on all three
+// architectures.
+type PortabilityResult struct {
+	// Cells has one entry per (build, cluster) attempt.
+	Cells []PortabilityCell
+}
+
+// portabilityClusters are the three study architectures plus Lenox;
+// Lenox and MareNostrum4 share the amd64 ISA but different host MPI
+// stacks, which is the pair that exposes the system-specific
+// technique's ABI coupling (not just its ISA coupling).
+func portabilityClusters() []*cluster.Cluster {
+	return []*cluster.Cluster{cluster.MareNostrum4(), cluster.CTEPower(), cluster.ThunderX(), cluster.Lenox()}
+}
+
+// Portability reproduces the build-technique × architecture study:
+// every image is built once (for its source cluster and technique) and
+// executed everywhere.
+func Portability(opt Options) (*PortabilityResult, error) {
+	targets := portabilityClusters()
+	sing := container.Singularity{Version: "2.5.x"}
+	cs := opt.caseOr(alya.QuickCFD(4))
+	cs.SimSteps = 1
+	cs.Steps = 1
+
+	out := &PortabilityResult{}
+	for _, source := range targets {
+		for _, kind := range []container.BuildKind{container.SystemSpecific, container.SelfContained} {
+			img, err := core.BuildImageFor(sing, source, kind)
+			if err != nil {
+				return nil, fmt.Errorf("portability build %s/%v: %w", source.Name, kind, err)
+			}
+			for _, target := range targets {
+				cell := PortabilityCell{
+					ImageArch: img.Arch,
+					Kind:      kind,
+					BuiltFor:  source.Name,
+					Cluster:   target.Name,
+				}
+				profile, err := sing.ExecProfile(target, img)
+				switch {
+				case errors.Is(err, container.ErrWrongArch):
+					cell.Why = "wrong architecture (exec format error)"
+				case errors.Is(err, container.ErrHostABI):
+					cell.Why = "host MPI/fabric ABI mismatch"
+				case err != nil:
+					cell.Why = err.Error()
+				default:
+					cell.Runs = true
+					cell.Why = "runs via " + profile.FabricPath
+					slow, err := portabilitySlowdown(target, sing, img, cs, opt.Mode)
+					if err != nil {
+						return nil, fmt.Errorf("portability run %s on %s: %w", img.Kind, target.Name, err)
+					}
+					cell.SlowdownVsBare = slow
+				}
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// portabilitySlowdown measures elapsed time vs bare metal on a small
+// 2-node configuration.
+func portabilitySlowdown(cl *cluster.Cluster, rt container.Runtime, img *container.Image,
+	cs alya.Case, mode alya.Mode) (float64, error) {
+
+	nodes := 2
+	ranks := nodes * cl.CoresPerNode()
+	run := func(rt container.Runtime, img *container.Image) (float64, error) {
+		res, err := core.RunCell(core.Cell{
+			Cluster: cl, Runtime: rt, Image: img, Case: cs,
+			Nodes: nodes, Ranks: ranks, Threads: 1,
+			Placement: sched.PlaceBlock, Mode: mode,
+			Allreduce: mpi.AllreduceRecursiveDoubling,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Exec.Elapsed), nil
+	}
+	bare, err := run(container.BareMetal{}, nil)
+	if err != nil {
+		return 0, err
+	}
+	cont, err := run(rt, img)
+	if err != nil {
+		return 0, err
+	}
+	if bare <= 0 {
+		return 0, fmt.Errorf("portability: zero bare-metal time")
+	}
+	return cont / bare, nil
+}
+
+// Find returns the cell for a build (by source cluster and kind) on a
+// target cluster.
+func (p *PortabilityResult) Find(builtFor string, kind container.BuildKind, target string) (*PortabilityCell, error) {
+	for i := range p.Cells {
+		c := &p.Cells[i]
+		if c.BuiltFor == builtFor && c.Kind == kind && c.Cluster == target {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no portability cell %s/%v on %s", builtFor, kind, target)
+}
+
+// Render writes the matrix.
+func (p *PortabilityResult) Render(w io.Writer) {
+	t := report.NewTable("Portability: image builds × target architectures (Singularity)",
+		"Image (built for)", "Technique", "Arch", "Target", "Outcome", "Slowdown vs bare")
+	for _, c := range p.Cells {
+		slow := "-"
+		if c.Runs {
+			slow = fmt.Sprintf("%.2fx", c.SlowdownVsBare)
+		}
+		t.AddRow(c.BuiltFor, c.Kind.String(), string(c.ImageArch), c.Cluster, c.Why, slow)
+	}
+	t.Render(w)
+}

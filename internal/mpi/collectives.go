@@ -1,0 +1,447 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is an elementwise reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// String names the operator.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// apply folds src into dst elementwise.
+func (op Op) apply(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mpi: reduction length mismatch %d != %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			dst[i] = math.Max(dst[i], src[i])
+		}
+	case OpMin:
+		for i := range dst {
+			dst[i] = math.Min(dst[i], src[i])
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+// Collective tags live in a reserved band per rank pair so application
+// traffic (tags >= 0 from user code) never matches collective traffic.
+const (
+	tagBarrier   = -1000
+	tagAllreduce = -2000
+	tagBcast     = -3000
+	tagReduce    = -4000
+	tagGather    = -5000
+	tagScatter   = -6000
+	tagAllgather = -7000
+	tagAlltoall  = -8000
+)
+
+// Barrier synchronizes all ranks with the dissemination algorithm:
+// ceil(log2 P) rounds of zero-byte exchanges.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	empty := []float64{}
+	recv := []float64{}
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		dst := (c.me + k) % p
+		src := (c.me - k + p) % p
+		c.sendRecv(dst, tagBarrier-round, empty, src, tagBarrier-round, recv)
+	}
+}
+
+// Allreduce reduces buf elementwise across all ranks and leaves the
+// result in buf on every rank, using the configured algorithm.
+func (c *Comm) Allreduce(buf []float64, op Op) {
+	if c.Size() == 1 {
+		return
+	}
+	switch c.r.w.cfg.Allreduce {
+	case AllreduceRecursiveDoubling:
+		c.allreduceRD(buf, op)
+	case AllreduceRing:
+		c.allreduceRing(buf, op)
+	case AllreduceReduceBcast:
+		c.Reduce(buf, 0, op)
+		c.Bcast(buf, 0)
+	case AllreduceHierarchical:
+		c.allreduceHier(buf, op)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %d", int(c.r.w.cfg.Allreduce)))
+	}
+}
+
+// allreduceHier is the shared-memory-aware algorithm every production
+// MPI applies at scale: reduce within each node to a leader over the
+// (fast) intra-node path, recursive-double among the node leaders over
+// the fabric, then broadcast within each node. The fabric's latency is
+// paid ceil(log2 #nodes) times instead of ceil(log2 P).
+func (c *Comm) allreduceHier(buf []float64, op Op) {
+	h := c.hier()
+	tmp := make([]float64, len(buf))
+	// 1. Intra-node binomial reduce to the node leader (local rank 0).
+	lr, ln := h.localRank, len(h.localPeers)
+	for mask := 1; mask < ln; mask <<= 1 {
+		if lr&mask != 0 {
+			c.send(h.localPeers[lr-mask], tagAllreduce-400, buf)
+			break
+		}
+		if lr+mask < ln {
+			c.recv(h.localPeers[lr+mask], tagAllreduce-400, tmp)
+			op.apply(buf, tmp)
+		}
+	}
+	// 2. Leaders recursive-double across nodes.
+	if lr == 0 && len(h.leaders) > 1 {
+		c.subsetRD(h.leaders, h.leaderIdx, buf, tmp, op)
+	}
+	// 3. Intra-node binomial broadcast from the leader.
+	if ln > 1 {
+		if lr != 0 {
+			mask := 1
+			for mask <= lr {
+				mask <<= 1
+			}
+			mask >>= 1
+			c.recv(h.localPeers[lr-mask], tagAllreduce-500, buf)
+		}
+		for mask := lowestPow2Above(lr); lr+mask < ln; mask <<= 1 {
+			c.send(h.localPeers[lr+mask], tagAllreduce-500, buf)
+		}
+	}
+}
+
+// subsetRD runs recursive doubling among the comm ranks listed in
+// subset (me = my index within it), with the standard non-power-of-two
+// fold.
+func (c *Comm) subsetRD(subset []int, me int, buf, tmp []float64, op Op) {
+	p := len(subset)
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+	newRank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		c.send(subset[me+1], tagAllreduce-600, buf)
+	case me < 2*rem:
+		c.recv(subset[me-1], tagAllreduce-600, tmp)
+		op.apply(buf, tmp)
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+	if newRank >= 0 {
+		for mask, round := 1, 0; mask < pof2; mask, round = mask<<1, round+1 {
+			peerNew := newRank ^ mask
+			peer := peerNew
+			if peerNew < rem {
+				peer = peerNew*2 + 1
+			} else {
+				peer = peerNew + rem
+			}
+			c.sendRecv(subset[peer], tagAllreduce-601-round, buf,
+				subset[peer], tagAllreduce-601-round, tmp)
+			op.apply(buf, tmp)
+		}
+	}
+	switch {
+	case me < 2*rem && me%2 == 0:
+		c.recv(subset[me+1], tagAllreduce-700, buf)
+	case me < 2*rem:
+		c.send(subset[me-1], tagAllreduce-700, buf)
+	}
+}
+
+// allreduceRD is recursive doubling with the standard non-power-of-two
+// pre/post phase: the first 2*rem ranks pair up so a power-of-two core
+// performs the butterfly, then results fan back out.
+func (c *Comm) allreduceRD(buf []float64, op Op) {
+	p := c.Size()
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+	tmp := make([]float64, len(buf))
+
+	newRank := -1
+	switch {
+	case c.me < 2*rem && c.me%2 == 0:
+		// Fold into the odd partner, then sit out the butterfly.
+		c.send(c.me+1, tagAllreduce, buf)
+	case c.me < 2*rem:
+		c.recv(c.me-1, tagAllreduce, tmp)
+		op.apply(buf, tmp)
+		newRank = c.me / 2
+	default:
+		newRank = c.me - rem
+	}
+
+	if newRank >= 0 {
+		for mask, round := 1, 0; mask < pof2; mask, round = mask<<1, round+1 {
+			peerNew := newRank ^ mask
+			peer := peerNew
+			if peerNew < rem {
+				peer = peerNew*2 + 1
+			} else {
+				peer = peerNew + rem
+			}
+			c.sendRecv(peer, tagAllreduce-1-round, buf, peer, tagAllreduce-1-round, tmp)
+			op.apply(buf, tmp)
+		}
+	}
+
+	// Post phase: odd folded ranks return results to their even pairs.
+	switch {
+	case c.me < 2*rem && c.me%2 == 0:
+		c.recv(c.me+1, tagAllreduce-100, buf)
+	case c.me < 2*rem:
+		c.send(c.me-1, tagAllreduce-100, buf)
+	}
+}
+
+// allreduceRing is the bandwidth-optimal reduce-scatter + allgather
+// ring: each rank sends 2(P-1) chunks of size n/P.
+func (c *Comm) allreduceRing(buf []float64, op Op) {
+	p := c.Size()
+	n := len(buf)
+	if n == 0 {
+		c.Barrier()
+		return
+	}
+	// Chunk boundaries (block distribution of buf across ranks).
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	chunk := func(i int) []float64 {
+		i = ((i % p) + p) % p
+		return buf[bounds[i]:bounds[i+1]]
+	}
+	next := (c.me + 1) % p
+	prev := (c.me - 1 + p) % p
+	tmp := make([]float64, n) // large enough for any chunk
+
+	// Reduce-scatter phase.
+	for step := 0; step < p-1; step++ {
+		out := chunk(c.me - step)
+		in := chunk(c.me - step - 1)
+		c.sendRecv(next, tagAllreduce-200-step, out, prev, tagAllreduce-200-step, tmp[:len(in)])
+		op.apply(in, tmp[:len(in)])
+	}
+	// Allgather phase.
+	for step := 0; step < p-1; step++ {
+		out := chunk(c.me + 1 - step)
+		in := chunk(c.me - step)
+		c.sendRecv(next, tagAllreduce-300-step, out, prev, tagAllreduce-300-step, tmp[:len(in)])
+		copy(in, tmp[:len(in)])
+	}
+}
+
+// Bcast broadcasts root's buf to all ranks over a binomial tree.
+func (c *Comm) Bcast(buf []float64, root int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
+	}
+	// Work in a rotated space where root is rank 0.
+	vrank := (c.me - root + p) % p
+	// Receive from parent (highest set bit), unless root.
+	if vrank != 0 {
+		mask := 1
+		for mask <= vrank {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := (vrank - mask + root) % p
+		c.recv(parent, tagBcast, buf)
+	}
+	// Forward to children.
+	low := lowestPow2Above(vrank)
+	for mask := low; vrank+mask < p; mask <<= 1 {
+		child := (vrank + mask + root) % p
+		c.send(child, tagBcast, buf)
+	}
+}
+
+// lowestPow2Above returns the smallest power of two strictly greater
+// than v's highest set bit — i.e. where v's children start in a
+// binomial tree (1 for v == 0).
+func lowestPow2Above(v int) int {
+	m := 1
+	for m <= v {
+		m <<= 1
+	}
+	return m
+}
+
+// Reduce folds buf from all ranks into root's buf over a binomial tree.
+// Non-root buffers are left with their partial reductions (like MPI,
+// their contents are undefined afterwards; do not rely on them).
+func (c *Comm) Reduce(buf []float64, root int, op Op) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
+	}
+	vrank := (c.me - root + p) % p
+	tmp := make([]float64, len(buf))
+	// Mirror image of the bcast tree: receive from children first.
+	low := lowestPow2Above(vrank)
+	// Children of vrank are vrank+m for m in {low, low*2, ...}; to
+	// reduce bottom-up we visit them from the largest down.
+	var children []int
+	for mask := low; vrank+mask < p; mask <<= 1 {
+		children = append(children, vrank+mask)
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		child := (children[i] + root) % p
+		c.recv(child, tagReduce, tmp)
+		op.apply(buf, tmp)
+	}
+	if vrank != 0 {
+		mask := 1
+		for mask <= vrank {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := (vrank - mask + root) % p
+		c.send(parent, tagReduce, buf)
+	}
+}
+
+// AllreduceScalar reduces a single value — the hot path of Krylov dot
+// products — and returns the result.
+func (c *Comm) AllreduceScalar(v float64, op Op) float64 {
+	buf := []float64{v}
+	c.Allreduce(buf, op)
+	return buf[0]
+}
+
+// Gather collects every rank's buf into root's out, which must be
+// len(buf)*Size() long on root (ignored elsewhere). Linear algorithm:
+// deployment-phase usage only, not on solver hot paths.
+func (c *Comm) Gather(buf []float64, root int, out []float64) {
+	p := c.Size()
+	n := len(buf)
+	if c.me == root {
+		if len(out) != n*p {
+			panic(fmt.Sprintf("mpi: gather out length %d != %d", len(out), n*p))
+		}
+		copy(out[root*n:(root+1)*n], buf)
+		for src := 0; src < p; src++ {
+			if src == root {
+				continue
+			}
+			c.recv(src, tagGather, out[src*n:(src+1)*n])
+		}
+		return
+	}
+	c.send(root, tagGather, buf)
+}
+
+// Scatter distributes root's in (len n*P) so each rank receives its
+// n-length block into buf. Linear algorithm.
+func (c *Comm) Scatter(in []float64, root int, buf []float64) {
+	p := c.Size()
+	n := len(buf)
+	if c.me == root {
+		if len(in) != n*p {
+			panic(fmt.Sprintf("mpi: scatter in length %d != %d", len(in), n*p))
+		}
+		copy(buf, in[root*n:(root+1)*n])
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			c.send(dst, tagScatter, in[dst*n:(dst+1)*n])
+		}
+		return
+	}
+	c.recv(root, tagScatter, buf)
+}
+
+// Allgather concatenates every rank's buf into out (len(buf)*Size()) on
+// all ranks, using the ring algorithm.
+func (c *Comm) Allgather(buf []float64, out []float64) {
+	p := c.Size()
+	n := len(buf)
+	if len(out) != n*p {
+		panic(fmt.Sprintf("mpi: allgather out length %d != %d", len(out), n*p))
+	}
+	copy(out[c.me*n:(c.me+1)*n], buf)
+	if p == 1 {
+		return
+	}
+	next := (c.me + 1) % p
+	prev := (c.me - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendIdx := ((c.me-step)%p + p) % p
+		recvIdx := ((c.me-step-1)%p + p) % p
+		c.sendRecv(next, tagAllgather-step, out[sendIdx*n:(sendIdx+1)*n],
+			prev, tagAllgather-step, out[recvIdx*n:(recvIdx+1)*n])
+	}
+}
+
+// Alltoall exchanges blocks: rank i's in[j*n:(j+1)*n] lands in rank j's
+// out[i*n:(i+1)*n]. Pairwise-exchange algorithm (P-1 balanced steps).
+func (c *Comm) Alltoall(in, out []float64, n int) {
+	p := c.Size()
+	if len(in) != n*p || len(out) != n*p {
+		panic(fmt.Sprintf("mpi: alltoall buffer lengths %d/%d != %d", len(in), len(out), n*p))
+	}
+	copy(out[c.me*n:(c.me+1)*n], in[c.me*n:(c.me+1)*n])
+	// The pairing scheme must be uniform across ranks within a step:
+	// XOR pairing for power-of-two worlds, shifted pairing otherwise.
+	pof2 := p&(p-1) == 0
+	for step := 1; step < p; step++ {
+		if pof2 {
+			peer := c.me ^ step
+			c.sendRecv(peer, tagAlltoall-step, in[peer*n:(peer+1)*n],
+				peer, tagAlltoall-step, out[peer*n:(peer+1)*n])
+			continue
+		}
+		sendTo := (c.me + step) % p
+		recvFrom := (c.me - step + p) % p
+		c.sendRecv(sendTo, tagAlltoall-step, in[sendTo*n:(sendTo+1)*n],
+			recvFrom, tagAlltoall-step, out[recvFrom*n:(recvFrom+1)*n])
+	}
+}

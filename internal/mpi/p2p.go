@@ -1,0 +1,327 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/units"
+)
+
+// message is an in-flight point-to-point payload.
+type message struct {
+	src, dst, tag int
+	data          []float64
+	size          units.ByteSize
+	tr            *fabric.Transport
+	eager         bool
+	// readyAt is, for eager messages, the time the payload is fully
+	// available at the receiver; for rendezvous messages, the time the
+	// sender posted (RTS time).
+	readyAt units.Seconds
+	// sentAt is when the sender entered the send, for the Observer's
+	// latency accounting.
+	sentAt units.Seconds
+	// sreq, when non-nil, is the sender's request to complete once the
+	// transfer finishes (rendezvous Isend or blocking Send).
+	sreq *Request
+	// sender lets the receiver wake a blocked sender.
+	sender *Rank
+}
+
+// recvPost is a posted receive awaiting a matching send.
+type recvPost struct {
+	src, tag int
+	buf      []float64
+	postedAt units.Seconds
+	req      *Request
+	owner    *Rank
+}
+
+// mailbox holds a destination rank's unexpected messages and posted
+// receives. Matching is FIFO within (src, tag).
+type mailbox struct {
+	sends []*message
+	posts []*recvPost
+}
+
+func (m *mailbox) matchSend(src, tag int) *message {
+	for i, msg := range m.sends {
+		if msg.src == src && msg.tag == tag {
+			m.sends = append(m.sends[:i], m.sends[i+1:]...)
+			return msg
+		}
+	}
+	return nil
+}
+
+func (m *mailbox) matchPost(src, tag int) *recvPost {
+	for i, p := range m.posts {
+		if p.src == src && p.tag == tag {
+			m.posts = append(m.posts[:i], m.posts[i+1:]...)
+			return p
+		}
+	}
+	return nil
+}
+
+// Request tracks completion of a nonblocking operation.
+type Request struct {
+	owner      *Rank
+	done       bool
+	completeAt units.Seconds
+	kind       string
+	seq        int
+}
+
+// Done reports whether the request has completed.
+func (q *Request) Done() bool { return q.done }
+
+func (r *Rank) newRequest(kind string) *Request {
+	r.reqSeq++
+	return &Request{owner: r, kind: kind, seq: r.reqSeq}
+}
+
+// complete marks the request finished at time t.
+func (q *Request) complete(t units.Seconds) {
+	q.done = true
+	q.completeAt = t
+}
+
+// payloadSize converts a float64 count to wire bytes.
+func payloadSize(n int) units.ByteSize { return units.ByteSize(8 * n) }
+
+// observe reports a completed transfer to the configured Observer.
+func (w *World) observe(msg *message, arrival units.Seconds) {
+	if w.cfg.Observer != nil {
+		w.cfg.Observer.Message(msg.src, msg.dst, msg.tag, msg.size, msg.tr.Name, msg.sentAt, arrival)
+	}
+}
+
+// deliver computes the arrival time of a matched transfer whose payload
+// may start moving at `start` on transport tr, accounting for NIC
+// serialization on the sending node when the path shares the NIC.
+func (w *World) deliver(tr *fabric.Transport, srcNode int, start units.Seconds, size units.ByteSize) units.Seconds {
+	wire := tr.WireTime(size)
+	if tr.SharesNIC {
+		return w.nic(srcNode).ReserveAt(start, wire) + tr.Latency
+	}
+	return start + wire + tr.Latency
+}
+
+// Send transmits data to dst with the given tag. Small messages are
+// eager (buffered, sender returns after its CPU cost); large messages
+// use rendezvous and block the sender until the receiver has the data —
+// matching the synchronous behaviour of real MPI large-message sends.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	r.timed(func() { r.send(dst, tag, data, nil) })
+}
+
+// Isend starts a nonblocking send and returns its request. Eager sends
+// complete immediately after local CPU cost; rendezvous sends complete
+// when the receiver has the data (observe via Wait).
+func (r *Rank) Isend(dst, tag int, data []float64) *Request {
+	var req *Request
+	r.timed(func() {
+		req = r.newRequest("isend")
+		r.send(dst, tag, data, req)
+	})
+	return req
+}
+
+// send implements both Send (req == nil) and Isend (req != nil).
+func (r *Rank) send(dst, tag int, data []float64, req *Request) {
+	if dst < 0 || dst >= r.w.cfg.Ranks {
+		panic(fmt.Sprintf("mpi: rank %d sends to invalid rank %d", r.id, dst))
+	}
+	if dst == r.id {
+		panic(fmt.Sprintf("mpi: rank %d sends to itself (tag %d)", r.id, tag))
+	}
+	tr := r.path(dst)
+	size := payloadSize(len(data))
+	r.proc.Sync() // establish global virtual-time order before matching
+	r.bytesSent += size
+	r.msgsSent++
+
+	// The payload is copied at send time: MPI buffer semantics. The
+	// copy also prevents aliasing bugs between rank bodies.
+	payload := make([]float64, len(data))
+	copy(payload, data)
+
+	eager := tr.Eager(size)
+	cpu := tr.CPUCost(size)
+	msg := &message{
+		src: r.id, dst: dst, tag: tag,
+		data: payload, size: size, tr: tr,
+		eager: eager, sender: r, sreq: req,
+		sentAt: r.proc.Now(),
+	}
+	box := &r.w.boxes[dst]
+
+	if eager {
+		r.proc.Advance(cpu)
+		msg.readyAt = r.w.deliver(tr, r.node, r.proc.Now(), size)
+		if req != nil {
+			req.complete(r.proc.Now())
+		}
+		if post := box.matchPost(msg.src, msg.tag); post != nil {
+			r.finishReceive(post, msg)
+			return
+		}
+		box.sends = append(box.sends, msg)
+		return
+	}
+
+	// Rendezvous: post the RTS, then either block (Send) or let the
+	// request track completion (Isend).
+	r.proc.Advance(tr.Overhead) // RTS packet cost
+	msg.readyAt = r.proc.Now()
+	if post := box.matchPost(msg.src, msg.tag); post != nil {
+		// Receiver already waiting: transfer can start once the CTS
+		// round-trip completes.
+		start := units.Max(msg.readyAt, post.postedAt) + tr.Latency
+		arrival := r.w.deliver(tr, r.node, start, size)
+		r.completeMatchedRecv(post, msg, arrival)
+		if req != nil {
+			req.complete(arrival)
+		} else {
+			r.proc.AdvanceTo(arrival)
+		}
+		return
+	}
+	box.sends = append(box.sends, msg)
+	if req == nil {
+		msg.sreq = r.newRequest("send-rdv")
+		r.waitOne(msg.sreq)
+	}
+}
+
+// Recv blocks until a matching message arrives and copies it into buf.
+// buf must have exactly the sent length; mismatches panic, which in a
+// simulator is the most useful behaviour for a truncation bug.
+func (r *Rank) Recv(src, tag int, buf []float64) {
+	r.timed(func() {
+		req := r.irecv(src, tag, buf)
+		r.waitOne(req)
+	})
+}
+
+// Irecv posts a nonblocking receive into buf.
+func (r *Rank) Irecv(src, tag int, buf []float64) *Request {
+	var req *Request
+	r.timed(func() { req = r.irecv(src, tag, buf) })
+	return req
+}
+
+func (r *Rank) irecv(src, tag int, buf []float64) *Request {
+	if src < 0 || src >= r.w.cfg.Ranks {
+		panic(fmt.Sprintf("mpi: rank %d receives from invalid rank %d", r.id, src))
+	}
+	if src == r.id {
+		panic(fmt.Sprintf("mpi: rank %d receives from itself (tag %d)", r.id, tag))
+	}
+	req := r.newRequest("irecv")
+	r.proc.Sync()
+	box := &r.w.boxes[r.id]
+	post := &recvPost{src: src, tag: tag, buf: buf, postedAt: r.proc.Now(), req: req, owner: r}
+	if msg := box.matchSend(src, tag); msg != nil {
+		r.matchAsReceiver(post, msg)
+		return req
+	}
+	box.posts = append(box.posts, post)
+	return req
+}
+
+// matchAsReceiver computes completion for a message found already
+// posted in the mailbox, from the receiver's side.
+func (r *Rank) matchAsReceiver(post *recvPost, msg *message) {
+	tr := msg.tr
+	if msg.eager {
+		arrival := units.Max(msg.readyAt, post.postedAt) + tr.CPUCost(msg.size)
+		copyPayload(post, msg)
+		post.req.complete(arrival)
+		r.w.observe(msg, arrival)
+		return
+	}
+	// Rendezvous: CTS handshake then transfer.
+	start := units.Max(msg.readyAt, post.postedAt) + tr.Latency
+	arrival := r.w.deliver(tr, r.w.ranks[msg.src].node, start, msg.size)
+	arrival += tr.CPUCost(msg.size)
+	copyPayload(post, msg)
+	post.req.complete(arrival)
+	r.w.observe(msg, arrival)
+	if msg.sreq != nil {
+		// Complete the sender's request; if the sender is parked in a
+		// blocking rendezvous Send or in Wait, bring it back.
+		msg.sreq.complete(arrival)
+		r.wakeIfBlocked(msg.sender, arrival)
+	}
+}
+
+// finishReceive completes a posted receive matched from the sender's
+// side (eager case).
+func (r *Rank) finishReceive(post *recvPost, msg *message) {
+	arrival := units.Max(msg.readyAt, post.postedAt) + msg.tr.CPUCost(msg.size)
+	copyPayload(post, msg)
+	post.req.complete(arrival)
+	r.w.observe(msg, arrival)
+	r.wakeIfBlocked(post.owner, arrival)
+}
+
+// completeMatchedRecv completes a posted receive matched from the
+// sender's side (rendezvous case) with a known arrival time.
+func (r *Rank) completeMatchedRecv(post *recvPost, msg *message, arrival units.Seconds) {
+	arrival += msg.tr.CPUCost(msg.size)
+	copyPayload(post, msg)
+	post.req.complete(arrival)
+	r.w.observe(msg, arrival)
+	r.wakeIfBlocked(post.owner, arrival)
+}
+
+// wakeIfBlocked wakes a peer rank parked in Wait if its request is now
+// satisfied. Waking an unblocked peer is a no-op handled by waitOne's
+// re-check loop; the vtime kernel only lets us wake genuinely blocked
+// procs, so Wait marks itself via proc state.
+func (r *Rank) wakeIfBlocked(peer *Rank, at units.Seconds) {
+	if peer.waiting {
+		r.proc.Wake(peer.proc, at)
+		peer.waiting = false
+	}
+}
+
+func copyPayload(post *recvPost, msg *message) {
+	if len(post.buf) != len(msg.data) {
+		panic(fmt.Sprintf("mpi: recv buffer length %d != message length %d (src %d dst %d tag %d)",
+			len(post.buf), len(msg.data), msg.src, msg.dst, msg.tag))
+	}
+	copy(post.buf, msg.data)
+}
+
+// Wait blocks until every request completes, advancing the rank's clock
+// to the latest completion.
+func (r *Rank) Wait(reqs ...*Request) {
+	r.timed(func() {
+		for _, q := range reqs {
+			r.waitOne(q)
+		}
+	})
+}
+
+func (r *Rank) waitOne(q *Request) {
+	if q.owner != r {
+		panic(fmt.Sprintf("mpi: rank %d waits on rank %d's request", r.id, q.owner.id))
+	}
+	for !q.done {
+		r.waiting = true
+		r.proc.Block("wait:" + q.kind)
+	}
+	r.waiting = false
+	r.proc.AdvanceTo(q.completeAt)
+}
+
+// SendRecv performs a simultaneous exchange with two peers — the
+// deadlock-free building block of halo exchanges.
+func (r *Rank) SendRecv(dst, sendTag int, sendBuf []float64, src, recvTag int, recvBuf []float64) {
+	rq := r.Irecv(src, recvTag, recvBuf)
+	sq := r.Isend(dst, sendTag, sendBuf)
+	r.Wait(rq, sq)
+}

@@ -1,0 +1,125 @@
+// Package storage models the data stores that container deployment
+// moves bytes through: a shared parallel filesystem (GPFS/Lustre
+// class), node-local disks, and the external registry uplink.
+//
+// Deployment overhead — one of the paper's three §B.1 comparison
+// metrics — is dominated by where image bytes live and how many times
+// they cross which link, so these models are deliberately explicit
+// about aggregate vs per-client bandwidth.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+	"repro/internal/vtime"
+)
+
+// ParallelFS is a shared cluster filesystem. Reads from many nodes
+// contend for the aggregate backend bandwidth but are also capped
+// per-client; metadata operations pay a fixed latency.
+type ParallelFS struct {
+	// Name identifies the filesystem in reports.
+	Name string
+	// AggregateBW is the backend bandwidth shared by all clients.
+	AggregateBW units.Rate
+	// PerClientBW caps what a single node can pull.
+	PerClientBW units.Rate
+	// MetadataLatency is the cost of an open/stat.
+	MetadataLatency units.Seconds
+}
+
+// Validate reports a misconfigured filesystem.
+func (fs *ParallelFS) Validate() error {
+	if fs.AggregateBW <= 0 || fs.PerClientBW <= 0 {
+		return fmt.Errorf("storage: filesystem %q has no bandwidth", fs.Name)
+	}
+	if fs.MetadataLatency < 0 {
+		return fmt.Errorf("storage: filesystem %q has negative metadata latency", fs.Name)
+	}
+	return nil
+}
+
+// ReadTime is the time for `clients` nodes to each read `size` bytes
+// concurrently: per-client bandwidth capped by the fair share of the
+// aggregate backend, plus one metadata operation.
+func (fs *ParallelFS) ReadTime(size units.ByteSize, clients int) units.Seconds {
+	if clients < 1 {
+		clients = 1
+	}
+	bw := fs.PerClientBW
+	share := units.Rate(float64(fs.AggregateBW) / float64(clients))
+	if share < bw {
+		bw = share
+	}
+	return fs.MetadataLatency + bw.TimeFor(size)
+}
+
+// WriteTime mirrors ReadTime; parallel filesystems in this study are
+// roughly symmetric for large sequential IO.
+func (fs *ParallelFS) WriteTime(size units.ByteSize, clients int) units.Seconds {
+	return fs.ReadTime(size, clients)
+}
+
+// LocalDisk is a node-local drive used by Docker's storage driver.
+type LocalDisk struct {
+	// Name identifies the disk model in reports.
+	Name string
+	// ReadBW and WriteBW are sequential bandwidths.
+	ReadBW  units.Rate
+	WriteBW units.Rate
+}
+
+// Validate reports a misconfigured disk.
+func (d *LocalDisk) Validate() error {
+	if d.ReadBW <= 0 || d.WriteBW <= 0 {
+		return fmt.Errorf("storage: disk %q has no bandwidth", d.Name)
+	}
+	return nil
+}
+
+// WriteTime is the time to persist size bytes locally.
+func (d *LocalDisk) WriteTime(size units.ByteSize) units.Seconds {
+	return d.WriteBW.TimeFor(size)
+}
+
+// ReadTime is the time to load size bytes locally.
+func (d *LocalDisk) ReadTime(size units.ByteSize) units.Seconds {
+	return d.ReadBW.TimeFor(size)
+}
+
+// RegistryLink is the shared uplink between the cluster and the image
+// registry. All concurrent pulls serialize through it; the Resource
+// tracks its occupancy in virtual time.
+type RegistryLink struct {
+	// Bandwidth is the uplink rate.
+	Bandwidth units.Rate
+	// RTT is the per-request round-trip (HTTP range request, auth).
+	RTT units.Seconds
+	// res orders concurrent transfers in virtual time.
+	res vtime.Resource
+}
+
+// NewRegistryLink builds a link with the given rate and request RTT.
+func NewRegistryLink(bw units.Rate, rtt units.Seconds) *RegistryLink {
+	return &RegistryLink{Bandwidth: bw, RTT: rtt}
+}
+
+// Pull charges proc for transferring size bytes over the shared link:
+// the proc waits for the link, holds it for the wire time, and pays the
+// request RTT.
+func (l *RegistryLink) Pull(p *vtime.Proc, size units.ByteSize) {
+	p.Advance(l.RTT)
+	l.res.Acquire(p, l.Bandwidth.TimeFor(size))
+}
+
+// PullAt books a transfer starting no earlier than start and returns
+// its completion time, without touching a process clock.
+func (l *RegistryLink) PullAt(start units.Seconds, size units.ByteSize) units.Seconds {
+	return l.res.ReserveAt(start+l.RTT, l.Bandwidth.TimeFor(size))
+}
+
+// Reset clears link occupancy between independent experiments.
+func (l *RegistryLink) Reset() {
+	l.res = vtime.Resource{Name: l.res.Name}
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/vtime"
+)
+
+func fs() ParallelFS {
+	return ParallelFS{
+		Name:            "gpfs",
+		AggregateBW:     10 * units.GBps,
+		PerClientBW:     2 * units.GBps,
+		MetadataLatency: units.Millisecond,
+	}
+}
+
+func TestReadTimeSingleClient(t *testing.T) {
+	f := fs()
+	got := f.ReadTime(2*units.GB, 1)
+	want := units.Millisecond + units.Second // 2GB at 2GB/s per-client cap
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Fatalf("read time %v, want %v", got, want)
+	}
+}
+
+func TestReadTimeAggregateCap(t *testing.T) {
+	f := fs()
+	// 10 clients: fair share 1 GB/s < per-client 2 GB/s.
+	got := f.ReadTime(1*units.GB, 10)
+	want := units.Millisecond + units.Second
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Fatalf("contended read time %v, want %v", got, want)
+	}
+	// More clients can never make an individual read faster.
+	if f.ReadTime(units.GB, 20) < f.ReadTime(units.GB, 2) {
+		t.Fatal("contention made reads faster")
+	}
+}
+
+func TestReadZeroClientsClamped(t *testing.T) {
+	f := fs()
+	if f.ReadTime(units.GB, 0) != f.ReadTime(units.GB, 1) {
+		t.Fatal("0 clients should behave as 1")
+	}
+}
+
+func TestWriteMirrorsRead(t *testing.T) {
+	f := fs()
+	if f.WriteTime(3*units.GB, 4) != f.ReadTime(3*units.GB, 4) {
+		t.Fatal("write/read asymmetry unexpected for this model")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := ParallelFS{Name: "x"}
+	if bad.Validate() == nil {
+		t.Fatal("zero-bandwidth fs should fail validation")
+	}
+	d := LocalDisk{Name: "d"}
+	if d.Validate() == nil {
+		t.Fatal("zero-bandwidth disk should fail validation")
+	}
+	good := fs()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalDisk(t *testing.T) {
+	d := LocalDisk{Name: "ssd", ReadBW: 500 * units.MBps, WriteBW: 250 * units.MBps}
+	if got := d.ReadTime(500 * units.MB); math.Abs(float64(got-units.Second)) > 1e-9 {
+		t.Fatalf("read %v", got)
+	}
+	if got := d.WriteTime(500 * units.MB); math.Abs(float64(got-2*units.Second)) > 1e-9 {
+		t.Fatalf("write %v", got)
+	}
+}
+
+func TestRegistryLinkSerializes(t *testing.T) {
+	link := NewRegistryLink(100*units.MBps, 10*units.Millisecond)
+	// Two sequential bookings must queue.
+	end1 := link.PullAt(0, 100*units.MB) // 10ms RTT + 1s
+	end2 := link.PullAt(0, 100*units.MB)
+	if math.Abs(float64(end1)-1.010) > 1e-9 {
+		t.Fatalf("first pull ends at %v", end1)
+	}
+	if end2 <= end1 {
+		t.Fatalf("second pull (%v) did not queue behind first (%v)", end2, end1)
+	}
+	link.Reset()
+	if got := link.PullAt(0, 100*units.MB); math.Abs(float64(got)-1.010) > 1e-9 {
+		t.Fatalf("after reset, pull ends at %v", got)
+	}
+}
+
+func TestRegistryLinkWithProc(t *testing.T) {
+	link := NewRegistryLink(100*units.MBps, 0)
+	s := vtime.NewScheduler(3)
+	ends := make([]units.Seconds, 3)
+	s.Run(func(p *vtime.Proc) {
+		p.Sync()
+		link.Pull(p, 100*units.MB)
+		ends[p.ID] = p.Now()
+	})
+	for i, e := range ends {
+		want := units.Seconds(i+1) * units.Second
+		if math.Abs(float64(e-want)) > 1e-9 {
+			t.Fatalf("proc %d finished at %v, want %v", i, e, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace provides observers for the simulated MPI: traffic
+// matrices between nodes, per-transport byte accounting, and message
+// latency statistics. Plug one into mpi.Config.Observer to analyse
+// where an execution's communication actually went — the tool that
+// surfaces, for example, how Docker's bridge path absorbs the
+// intra-node traffic that shared memory carries on the other runtimes.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// TrafficMatrix aggregates completed messages by node pair and by
+// transport. It implements mpi.Observer; runs under the deterministic
+// scheduler, so no locking is needed.
+type TrafficMatrix struct {
+	// NodeOf maps ranks to nodes (same function as the mpi.Config).
+	NodeOf func(rank int) int
+
+	bytes     map[[2]int]units.ByteSize
+	msgs      map[[2]int]int
+	transport map[string]units.ByteSize
+	latencies []float64
+
+	totalBytes units.ByteSize
+	totalMsgs  int
+}
+
+// NewTrafficMatrix builds a matrix for the given placement.
+func NewTrafficMatrix(nodeOf func(rank int) int) *TrafficMatrix {
+	return &TrafficMatrix{
+		NodeOf:    nodeOf,
+		bytes:     make(map[[2]int]units.ByteSize),
+		msgs:      make(map[[2]int]int),
+		transport: make(map[string]units.ByteSize),
+	}
+}
+
+// Message implements mpi.Observer.
+func (t *TrafficMatrix) Message(src, dst, tag int, size units.ByteSize,
+	transport string, sent, arrived units.Seconds) {
+
+	key := [2]int{t.NodeOf(src), t.NodeOf(dst)}
+	t.bytes[key] += size
+	t.msgs[key]++
+	t.transport[transport] += size
+	t.totalBytes += size
+	t.totalMsgs++
+	if arrived > sent {
+		t.latencies = append(t.latencies, float64(arrived-sent))
+	}
+}
+
+// TotalBytes returns the total observed payload bytes.
+func (t *TrafficMatrix) TotalBytes() units.ByteSize { return t.totalBytes }
+
+// TotalMessages returns the total observed message count.
+func (t *TrafficMatrix) TotalMessages() int { return t.totalMsgs }
+
+// Between returns the bytes sent from node a to node b.
+func (t *TrafficMatrix) Between(a, b int) units.ByteSize {
+	return t.bytes[[2]int{a, b}]
+}
+
+// IntraNodeBytes returns the bytes that never left a node.
+func (t *TrafficMatrix) IntraNodeBytes() units.ByteSize {
+	var s units.ByteSize
+	for k, v := range t.bytes {
+		if k[0] == k[1] {
+			s += v
+		}
+	}
+	return s
+}
+
+// InterNodeBytes returns the bytes that crossed the fabric.
+func (t *TrafficMatrix) InterNodeBytes() units.ByteSize {
+	return t.totalBytes - t.IntraNodeBytes()
+}
+
+// ByTransport returns the bytes carried per transport name.
+func (t *TrafficMatrix) ByTransport() map[string]units.ByteSize {
+	out := make(map[string]units.ByteSize, len(t.transport))
+	for k, v := range t.transport {
+		out[k] = v
+	}
+	return out
+}
+
+// LatencyStats summarizes observed message latencies (seconds).
+func (t *TrafficMatrix) LatencyStats() metrics.Summary {
+	return metrics.Summarize(t.latencies)
+}
+
+// Render writes a per-node-pair summary table.
+func (t *TrafficMatrix) Render(w io.Writer) {
+	fmt.Fprintf(w, "traffic: %d messages, %v total (%v intra-node, %v inter-node)\n",
+		t.totalMsgs, t.totalBytes, t.IntraNodeBytes(), t.InterNodeBytes())
+	names := make([]string, 0, len(t.transport))
+	for name := range t.transport {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-20s %v\n", name, t.transport[name])
+	}
+	keys := make([][2]int, 0, len(t.bytes))
+	for k := range t.bytes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "  node %d -> node %d: %v in %d messages\n",
+			k[0], k[1], t.bytes[k], t.msgs[k])
+	}
+}

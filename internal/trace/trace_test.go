@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// runTraced executes a small world with a TrafficMatrix attached.
+func runTraced(t *testing.T, body func(r *mpi.Rank)) *TrafficMatrix {
+	t.Helper()
+	nodeOf := func(r int) int { return r / 2 }
+	tm := NewTrafficMatrix(nodeOf)
+	shm := fabric.SharedMemory(8*units.GBps, 0.5*units.Microsecond)
+	inter := fabric.GigabitEthernet.Native
+	cfg := mpi.Config{
+		Ranks: 4, Nodes: 2,
+		NodeOf: nodeOf,
+		Path: func(src, dst int) *fabric.Transport {
+			if src/2 == dst/2 {
+				return &shm
+			}
+			return &inter
+		},
+		ComputeDilation: 1,
+		Observer:        tm,
+	}
+	if _, err := mpi.Run(cfg, body); err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	tm := runTraced(t, func(r *mpi.Rank) {
+		buf := make([]float64, 128) // 1 KiB
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, buf) // intra-node
+			r.Send(2, 0, buf) // inter-node
+		case 1:
+			r.Recv(0, 0, buf)
+		case 2:
+			r.Recv(0, 0, buf)
+		}
+	})
+	if tm.TotalMessages() != 2 {
+		t.Fatalf("observed %d messages, want 2", tm.TotalMessages())
+	}
+	if tm.TotalBytes() != 2*1024 {
+		t.Fatalf("observed %v, want 2 KiB", tm.TotalBytes())
+	}
+	if tm.IntraNodeBytes() != 1024 || tm.InterNodeBytes() != 1024 {
+		t.Fatalf("intra %v inter %v", tm.IntraNodeBytes(), tm.InterNodeBytes())
+	}
+	if tm.Between(0, 1) != 1024 || tm.Between(1, 0) != 0 {
+		t.Fatalf("directional accounting wrong: %v / %v", tm.Between(0, 1), tm.Between(1, 0))
+	}
+	byTr := tm.ByTransport()
+	if byTr["shm"] != 1024 || byTr["tcp-1gbe"] != 1024 {
+		t.Fatalf("per-transport bytes %v", byTr)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	tm := runTraced(t, func(r *mpi.Rank) {
+		buf := make([]float64, 8)
+		if r.ID() == 0 {
+			r.Send(2, 0, buf)
+		} else if r.ID() == 2 {
+			r.Recv(0, 0, buf)
+		}
+	})
+	st := tm.LatencyStats()
+	if st.N != 1 {
+		t.Fatalf("latency samples %d", st.N)
+	}
+	// The inter-node latency must at least include the wire latency.
+	if st.Min < float64(50*units.Microsecond) {
+		t.Fatalf("observed latency %v below the 1GbE wire latency", st.Min)
+	}
+}
+
+func TestCollectivesAreObserved(t *testing.T) {
+	tm := runTraced(t, func(r *mpi.Rank) {
+		r.AllreduceScalar(1, mpi.OpSum)
+	})
+	if tm.TotalMessages() == 0 {
+		t.Fatal("collective traffic not observed")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tm := runTraced(t, func(r *mpi.Rank) {
+		buf := make([]float64, 8)
+		if r.ID() == 0 {
+			r.Send(3, 0, buf)
+		} else if r.ID() == 3 {
+			r.Recv(0, 0, buf)
+		}
+	})
+	var sb strings.Builder
+	tm.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"traffic:", "node 0 -> node 1", "tcp-1gbe"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDockerAbsorbsIntraNodeTraffic(t *testing.T) {
+	// The analysis the tracer exists for: under Docker's per-rank
+	// isolation the bridge carries bytes that shm carries elsewhere.
+	nodeOf := func(r int) int { return r / 2 }
+	bridge := fabric.DockerBridge()
+	nat := fabric.DockerNAT(fabric.GigabitEthernet.Native)
+	tm := NewTrafficMatrix(nodeOf)
+	cfg := mpi.Config{
+		Ranks: 4, Nodes: 2,
+		NodeOf: nodeOf,
+		Path: func(src, dst int) *fabric.Transport {
+			if src/2 == dst/2 {
+				return &bridge
+			}
+			return &nat
+		},
+		ComputeDilation: 1,
+		Observer:        tm,
+	}
+	_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		buf := make([]float64, 64)
+		peer := r.ID() ^ 1 // intra-node partner
+		r.SendRecv(peer, 0, buf, peer, 0, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTr := tm.ByTransport()
+	if byTr["docker-bridge"] == 0 {
+		t.Fatal("bridge carried nothing")
+	}
+	if byTr["shm"] != 0 {
+		t.Fatal("shared memory should not appear under Docker")
+	}
+}

@@ -1,0 +1,330 @@
+// Package vtime implements the deterministic virtual-time execution
+// kernel underneath the simulator.
+//
+// Simulated processes (MPI ranks, deployment agents, ...) are ordinary
+// goroutines, but they never run concurrently: a scheduler resumes
+// exactly one process at a time, always the runnable process with the
+// smallest virtual clock (ties broken by process id). Processes advance
+// their own clocks with model costs and interact only at explicit
+// scheduling points, so every shared model structure (message queues,
+// NIC reservations, filesystem bandwidth) is accessed in a single,
+// reproducible virtual-time order without any locking.
+//
+// This is the classic conservative sequential discrete-event design,
+// expressed with coroutines so that rank programs read as straight-line
+// imperative code.
+package vtime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is one simulated process. All methods must be called from the
+// process's own goroutine while it is the running process, except Wake,
+// which a running process calls on a peer.
+type Proc struct {
+	ID    int
+	sched *Scheduler
+
+	now      units.Seconds
+	state    procState
+	resume   chan struct{}
+	heapIdx  int
+	blockTag string // diagnostic: what the proc is blocked on
+}
+
+// Now returns the process's virtual clock.
+func (p *Proc) Now() units.Seconds { return p.now }
+
+// Advance adds a model cost to the process's clock without yielding.
+// Negative durations are a programming error.
+func (p *Proc) Advance(d units.Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: proc %d advanced by negative duration %v", p.ID, d))
+	}
+	p.now += d
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now.
+func (p *Proc) AdvanceTo(t units.Seconds) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+// Sync yields to the scheduler so that every process with an earlier
+// virtual clock runs first. Call it before touching shared model state;
+// afterwards the process is guaranteed to be the earliest actor.
+func (p *Proc) Sync() {
+	p.checkRunning("Sync")
+	p.state = stateRunnable
+	p.sched.push(p)
+	p.sched.events <- p
+	<-p.resume
+}
+
+// Block suspends the process until a peer calls Wake on it. The tag is
+// reported in deadlock diagnostics.
+func (p *Proc) Block(tag string) {
+	p.checkRunning("Block")
+	p.state = stateBlocked
+	p.blockTag = tag
+	p.sched.events <- p
+	<-p.resume
+}
+
+// Wake makes a blocked peer runnable with its clock advanced to at
+// (if later). It must be called by the currently running process.
+func (p *Proc) Wake(q *Proc, at units.Seconds) {
+	p.checkRunning("Wake")
+	if q.state != stateBlocked {
+		panic(fmt.Sprintf("vtime: proc %d woke proc %d which is not blocked (state %d)", p.ID, q.ID, q.state))
+	}
+	q.AdvanceTo(at)
+	q.state = stateRunnable
+	q.blockTag = ""
+	p.sched.push(q)
+}
+
+func (p *Proc) checkRunning(op string) {
+	if p.state != stateRunning {
+		panic(fmt.Sprintf("vtime: %s called on proc %d which is not running", op, p.ID))
+	}
+}
+
+// Scheduler owns the set of processes and the runnable heap.
+type Scheduler struct {
+	procs  []*Proc
+	heap   []*Proc // min-heap on (now, ID)
+	events chan *Proc
+	alive  int
+	// failure records the first process panic, re-raised from Run.
+	failure string
+}
+
+// NewScheduler creates a scheduler for n processes starting at time 0.
+func NewScheduler(n int) *Scheduler {
+	s := &Scheduler{
+		procs:  make([]*Proc, n),
+		heap:   make([]*Proc, 0, n),
+		events: make(chan *Proc),
+	}
+	for i := range s.procs {
+		s.procs[i] = &Proc{
+			ID:      i,
+			sched:   s,
+			resume:  make(chan struct{}),
+			heapIdx: -1,
+			state:   stateRunnable,
+		}
+	}
+	return s
+}
+
+// Procs returns the scheduler's processes, indexed by id.
+func (s *Scheduler) Procs() []*Proc { return s.procs }
+
+// Run starts body(i, proc) for every process and drives the simulation
+// until all processes finish. It returns the maximum final virtual time.
+// A deadlock (blocked processes with nothing runnable) panics with a
+// diagnostic listing every blocked process and its tag; a panic inside
+// a process body is captured and re-raised from Run on the caller's
+// goroutine, annotated with the process id.
+func (s *Scheduler) Run(body func(p *Proc)) units.Seconds {
+	s.alive = len(s.procs)
+	for _, p := range s.procs {
+		s.push(p)
+		proc := p
+		go func() {
+			<-proc.resume
+			defer func() {
+				if r := recover(); r != nil {
+					s.failure = fmt.Sprintf("vtime: proc %d panicked: %v", proc.ID, r)
+				}
+				proc.state = stateDone
+				s.events <- proc
+			}()
+			body(proc)
+		}()
+	}
+	for s.alive > 0 {
+		p := s.pop()
+		if p == nil {
+			s.deadlock()
+		}
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		ev := <-s.events
+		if ev.state == stateDone {
+			s.alive--
+			if s.failure != "" {
+				// A proc died; its peers may now be stranded. Abandon
+				// the simulation and surface the original failure.
+				panic(s.failure)
+			}
+		}
+	}
+	var end units.Seconds
+	for _, p := range s.procs {
+		if p.now > end {
+			end = p.now
+		}
+	}
+	return end
+}
+
+func (s *Scheduler) deadlock() {
+	type stuck struct {
+		id  int
+		now units.Seconds
+		tag string
+	}
+	var list []stuck
+	for _, p := range s.procs {
+		if p.state == stateBlocked {
+			list = append(list, stuck{p.ID, p.now, p.blockTag})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	msg := "vtime: deadlock —"
+	limit := len(list)
+	if limit > 16 {
+		limit = 16
+	}
+	for _, st := range list[:limit] {
+		msg += fmt.Sprintf(" proc %d @%v [%s];", st.id, st.now, st.tag)
+	}
+	if len(list) > limit {
+		msg += fmt.Sprintf(" ... and %d more", len(list)-limit)
+	}
+	panic(msg)
+}
+
+// heap operations: min-heap ordered by (now, ID).
+
+func (s *Scheduler) less(a, b *Proc) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.ID < b.ID
+}
+
+func (s *Scheduler) push(p *Proc) {
+	if p.heapIdx != -1 {
+		panic(fmt.Sprintf("vtime: proc %d pushed twice", p.ID))
+	}
+	s.heap = append(s.heap, p)
+	p.heapIdx = len(s.heap) - 1
+	s.up(p.heapIdx)
+}
+
+func (s *Scheduler) pop() *Proc {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.swap(0, last)
+	s.heap = s.heap[:last]
+	top.heapIdx = -1
+	if last > 0 {
+		s.down(0)
+	}
+	return top
+}
+
+func (s *Scheduler) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].heapIdx = i
+	s.heap[j].heapIdx = j
+}
+
+func (s *Scheduler) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(s.heap[l], s.heap[small]) {
+			small = l
+		}
+		if r < n && s.less(s.heap[r], s.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}
+
+// Resource is a serially reusable device (a NIC, a filesystem server, a
+// container gateway) in virtual time. Acquire must be called by the
+// currently running process after Sync, which guarantees requests are
+// served in global virtual-time order.
+type Resource struct {
+	Name   string
+	freeAt units.Seconds
+	busy   units.Seconds // accumulated busy time, for utilization reports
+}
+
+// NewResource names a resource; the zero value is also usable.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Acquire makes p wait until the resource is free, then holds it for
+// hold. On return p's clock includes both the wait and the hold.
+func (r *Resource) Acquire(p *Proc, hold units.Seconds) {
+	if hold < 0 {
+		panic(fmt.Sprintf("vtime: resource %s acquired for negative duration %v", r.Name, hold))
+	}
+	p.AdvanceTo(r.freeAt)
+	r.freeAt = p.now + hold
+	r.busy += hold
+	p.Advance(hold)
+}
+
+// ReserveAt books the resource for a transfer that starts no earlier
+// than start and takes hold; it returns the completion time without
+// touching any process clock. Used for offloaded transfers (e.g. NIC
+// DMA) whose completion the caller folds into a message arrival time.
+func (r *Resource) ReserveAt(start units.Seconds, hold units.Seconds) units.Seconds {
+	if hold < 0 {
+		panic(fmt.Sprintf("vtime: resource %s reserved for negative duration %v", r.Name, hold))
+	}
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + hold
+	r.busy += hold
+	return r.freeAt
+}
+
+// BusyTime reports the total time the resource spent occupied.
+func (r *Resource) BusyTime() units.Seconds { return r.busy }
+
+// FreeAt reports when the resource next becomes free.
+func (r *Resource) FreeAt() units.Seconds { return r.freeAt }

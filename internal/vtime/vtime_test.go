@@ -1,0 +1,208 @@
+package vtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSingleProcAdvance(t *testing.T) {
+	s := NewScheduler(1)
+	end := s.Run(func(p *Proc) {
+		p.Advance(2 * units.Second)
+		p.Advance(500 * units.Millisecond)
+	})
+	if end != 2.5*units.Second {
+		t.Fatalf("end = %v, want 2.5s", end)
+	}
+}
+
+func TestSchedulerOrdersByVirtualTime(t *testing.T) {
+	// Three procs advance by different amounts and record the global
+	// order in which they pass Sync points; it must follow virtual
+	// time, not goroutine creation order.
+	s := NewScheduler(3)
+	var order []int
+	s.Run(func(p *Proc) {
+		// proc 0 -> t=30, proc 1 -> t=10, proc 2 -> t=20
+		p.Advance(units.Seconds(30-10*p.ID) * units.Millisecond)
+		p.Sync()
+		order = append(order, p.ID)
+	})
+	want := []int{2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sync order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	s := NewScheduler(4)
+	var order []int
+	s.Run(func(p *Proc) {
+		p.Advance(units.Second) // identical clocks
+		p.Sync()
+		order = append(order, p.ID)
+	})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("tie-break order = %v, want ascending ids", order)
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	s := NewScheduler(2)
+	procs := s.Procs()
+	var wokenAt units.Seconds
+	s.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Block("test-wait")
+			wokenAt = p.Now()
+			return
+		}
+		p.Advance(3 * units.Second)
+		p.Sync()
+		p.Wake(procs[0], p.Now())
+	})
+	if wokenAt != 3*units.Second {
+		t.Fatalf("woken at %v, want 3s", wokenAt)
+	}
+}
+
+func TestWakeDoesNotRewindClock(t *testing.T) {
+	s := NewScheduler(2)
+	procs := s.Procs()
+	var after units.Seconds
+	s.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(10 * units.Second)
+			p.Block("wait")
+			after = p.Now()
+			return
+		}
+		p.Advance(1 * units.Second)
+		p.Sync()
+		p.Wake(procs[0], 2*units.Second) // earlier than blocked proc's clock
+	})
+	if after != 10*units.Second {
+		t.Fatalf("clock rewound to %v", after)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "stuck-forever") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	s := NewScheduler(2)
+	s.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Block("stuck-forever")
+		}
+	})
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	// The panic fires on the proc goroutine; Run must capture it and
+	// re-raise it on the caller's goroutine with the proc id attached.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "proc 0 panicked") {
+			t.Fatalf("panic lacks proc context: %v", r)
+		}
+	}()
+	s := NewScheduler(1)
+	s.Run(func(p *Proc) {
+		p.Advance(-1)
+	})
+}
+
+func TestAdvanceTo(t *testing.T) {
+	s := NewScheduler(1)
+	end := s.Run(func(p *Proc) {
+		p.Advance(5 * units.Second)
+		p.AdvanceTo(3 * units.Second) // no-op: earlier
+		if p.Now() != 5*units.Second {
+			t.Errorf("AdvanceTo rewound the clock to %v", p.Now())
+		}
+		p.AdvanceTo(8 * units.Second)
+	})
+	if end != 8*units.Second {
+		t.Fatalf("end = %v, want 8s", end)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	// Four procs all want the resource at t=0 for 1s each: completions
+	// must be 1, 2, 3, 4 seconds in id order.
+	s := NewScheduler(4)
+	res := NewResource("disk")
+	done := make([]units.Seconds, 4)
+	s.Run(func(p *Proc) {
+		p.Sync()
+		res.Acquire(p, units.Second)
+		done[p.ID] = p.Now()
+	})
+	for i, d := range done {
+		want := units.Seconds(i+1) * units.Second
+		if d != want {
+			t.Fatalf("proc %d done at %v, want %v", i, d, want)
+		}
+	}
+	if res.BusyTime() != 4*units.Second {
+		t.Fatalf("busy time %v, want 4s", res.BusyTime())
+	}
+}
+
+func TestResourceReserveAt(t *testing.T) {
+	res := NewResource("nic")
+	end1 := res.ReserveAt(0, units.Second)
+	end2 := res.ReserveAt(0, units.Second) // queued behind first
+	end3 := res.ReserveAt(5*units.Second, units.Second)
+	if end1 != units.Second || end2 != 2*units.Second || end3 != 6*units.Second {
+		t.Fatalf("reservations at %v %v %v", end1, end2, end3)
+	}
+	if res.FreeAt() != 6*units.Second {
+		t.Fatalf("free at %v", res.FreeAt())
+	}
+}
+
+func TestResourceNegativeHoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative hold")
+		}
+	}()
+	res := NewResource("x")
+	res.ReserveAt(0, -1)
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() units.Seconds {
+		s := NewScheduler(64)
+		res := NewResource("shared")
+		return s.Run(func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Advance(units.Seconds(p.ID%7) * units.Millisecond)
+				p.Sync()
+				res.Acquire(p, units.Millisecond)
+			}
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
