@@ -2,13 +2,14 @@
 //
 // Usage:
 //
-//	hpcstudy [-quick] [-csv] <fig1|fig2|fig3|solutions|portability|iostudy|all>
+//	hpcstudy [-quick] [-csv] [-parallel N] <fig1|fig2|fig3|solutions|portability|iostudy|all>
 //
 // Without -quick every experiment runs at paper scale; fig3's 256-node
 // point simulates 12,288 MPI ranks and takes several minutes of wall
 // time. -quick trims the sweeps to a laptop-friendly subset with the
 // same qualitative shapes. -csv emits machine-readable data instead of
-// tables.
+// tables. -parallel bounds the number of concurrently simulated cells
+// (default: all CPUs); results are identical at every setting.
 package main
 
 import (
@@ -21,12 +22,23 @@ import (
 	containerhpc "repro"
 )
 
+// studyNames lists every experiment in "all" order.
+var studyNames = []string{"solutions", "fig1", "fig2", "fig3", "portability", "iostudy"}
+
+// -quick sweep points. Vars rather than literals so the CLI smoke test
+// can shrink them further without bypassing any of the wiring.
+var (
+	quickFig2Nodes = []int{2, 4, 8, 16}
+	quickFig3Nodes = []int{4, 8, 16, 32, 64}
+)
+
 func main() {
 	quick := flag.Bool("quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	parallel := flag.Int("parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpcstudy [-quick] [-csv] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
+			"usage: hpcstudy [-quick] [-csv] [-parallel N] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,42 +46,57 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	which := flag.Arg(0)
-	w := os.Stdout
+	if err := runStudy(os.Stdout, flag.Arg(0), *quick, *csv, *parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "hpcstudy: %v\n", err)
+		if _, ok := err.(unknownStudyError); ok {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
 
-	run := func(name string, f func(io.Writer) error) {
+// unknownStudyError reports a study name outside the known set.
+type unknownStudyError string
+
+func (e unknownStudyError) Error() string { return fmt.Sprintf("unknown study %q", string(e)) }
+
+// runStudy regenerates one study (or "all") into w — the whole CLI
+// behind flag parsing, so tests can drive it directly.
+func runStudy(w io.Writer, which string, quick, csv bool, parallel int) error {
+	jobs := map[string]func(io.Writer) error{
+		"fig1":        func(w io.Writer) error { return fig1(w, quick, csv, parallel) },
+		"fig2":        func(w io.Writer) error { return fig2(w, quick, csv, parallel) },
+		"fig3":        func(w io.Writer) error { return fig3(w, quick, csv, parallel) },
+		"solutions":   func(w io.Writer) error { return solutions(w, parallel) },
+		"portability": func(w io.Writer) error { return portability(w, parallel) },
+		"iostudy":     func(w io.Writer) error { return iostudy(w, parallel) },
+	}
+	run := func(name string, f func(io.Writer) error) error {
 		start := time.Now()
 		if err := f(w); err != nil {
-			fmt.Fprintf(os.Stderr, "hpcstudy %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(w, "  (%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	jobs := map[string]func(io.Writer) error{
-		"fig1":        func(w io.Writer) error { return fig1(w, *quick, *csv) },
-		"fig2":        func(w io.Writer) error { return fig2(w, *quick, *csv) },
-		"fig3":        func(w io.Writer) error { return fig3(w, *quick, *csv) },
-		"solutions":   func(w io.Writer) error { return solutions(w) },
-		"portability": func(w io.Writer) error { return portability(w) },
-		"iostudy":     func(w io.Writer) error { return iostudy(w) },
+		return nil
 	}
 	if which == "all" {
-		for _, name := range []string{"solutions", "fig1", "fig2", "fig3", "portability", "iostudy"} {
-			run(name, jobs[name])
+		for _, name := range studyNames {
+			if err := run(name, jobs[name]); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	f, ok := jobs[which]
 	if !ok {
-		flag.Usage()
-		os.Exit(2)
+		return unknownStudyError(which)
 	}
-	run(which, f)
+	return run(which, f)
 }
 
-func fig1(w io.Writer, quick, csv bool) error {
-	opt := containerhpc.Options{}
+func fig1(w io.Writer, quick, csv bool, parallel int) error {
+	opt := containerhpc.Options{Parallelism: parallel}
 	if quick {
 		c := containerhpc.ArteryCFDLenox()
 		c.SimSteps = 1
@@ -87,13 +114,13 @@ func fig1(w io.Writer, quick, csv bool) error {
 	return nil
 }
 
-func fig2(w io.Writer, quick, csv bool) error {
-	opt := containerhpc.Options{}
+func fig2(w io.Writer, quick, csv bool, parallel int) error {
+	opt := containerhpc.Options{Parallelism: parallel}
 	if quick {
 		c := containerhpc.ArteryCFDCTEPower()
 		c.SimSteps = 1
 		opt.Case = c
-		opt.NodePoints = []int{2, 4, 8, 16}
+		opt.NodePoints = quickFig2Nodes
 	}
 	res, err := containerhpc.Fig2(opt)
 	if err != nil {
@@ -107,10 +134,10 @@ func fig2(w io.Writer, quick, csv bool) error {
 	return nil
 }
 
-func fig3(w io.Writer, quick, csv bool) error {
-	opt := containerhpc.Options{}
+func fig3(w io.Writer, quick, csv bool, parallel int) error {
+	opt := containerhpc.Options{Parallelism: parallel}
 	if quick {
-		opt.NodePoints = []int{4, 8, 16, 32, 64}
+		opt.NodePoints = quickFig3Nodes
 	}
 	res, err := containerhpc.Fig3(opt)
 	if err != nil {
@@ -126,8 +153,8 @@ func fig3(w io.Writer, quick, csv bool) error {
 	return nil
 }
 
-func solutions(w io.Writer) error {
-	res, err := containerhpc.Solutions(containerhpc.Options{})
+func solutions(w io.Writer, parallel int) error {
+	res, err := containerhpc.Solutions(containerhpc.Options{Parallelism: parallel})
 	if err != nil {
 		return err
 	}
@@ -135,8 +162,8 @@ func solutions(w io.Writer) error {
 	return nil
 }
 
-func portability(w io.Writer) error {
-	res, err := containerhpc.Portability(containerhpc.Options{})
+func portability(w io.Writer, parallel int) error {
+	res, err := containerhpc.Portability(containerhpc.Options{Parallelism: parallel})
 	if err != nil {
 		return err
 	}
@@ -144,8 +171,8 @@ func portability(w io.Writer) error {
 	return nil
 }
 
-func iostudy(w io.Writer) error {
-	res, err := containerhpc.IOStudy(containerhpc.Options{})
+func iostudy(w io.Writer, parallel int) error {
+	res, err := containerhpc.IOStudy(containerhpc.Options{Parallelism: parallel})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickAll smoke-tests the `hpcstudy -quick all` wiring end to
+// end: every study must regenerate and render into the stream. The
+// quick node points are trimmed further so the whole matrix stays
+// test-sized; the code path is exactly the CLI's.
+func TestQuickAll(t *testing.T) {
+	defer func(f2, f3 []int) { quickFig2Nodes, quickFig3Nodes = f2, f3 }(quickFig2Nodes, quickFig3Nodes)
+	quickFig2Nodes = []int{2, 4}
+	quickFig3Nodes = []int{4, 8}
+
+	var sb strings.Builder
+	if err := runStudy(&sb, "all", true, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Containerization solutions on Lenox", // solutions table
+		"Fig 1: average elapsed time",
+		"Fig 2: average elapsed time",
+		"Fig 3: scalability",
+		"Portability: image builds",
+		"checkpoint through each container storage path", // iostudy
+		"(iostudy regenerated in",                        // per-study footer of the last study
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}
+
+// TestQuickCSV asserts the -csv path emits machine-readable data.
+func TestQuickCSV(t *testing.T) {
+	defer func(f2 []int) { quickFig2Nodes = f2 }(quickFig2Nodes)
+	quickFig2Nodes = []int{2, 4}
+
+	var sb strings.Builder
+	if err := runStudy(&sb, "fig2", true, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "nodes,Bare-metal") {
+		t.Fatalf("csv header missing:\n%s", out)
+	}
+	if strings.Contains(out, "+--") {
+		t.Fatal("csv output contains table borders")
+	}
+}
+
+// TestUnknownStudy asserts a bad study name is rejected with the
+// dedicated error type (the CLI exits with usage for it).
+func TestUnknownStudy(t *testing.T) {
+	var sb strings.Builder
+	err := runStudy(&sb, "fig9", false, false, 1)
+	if _, ok := err.(unknownStudyError); !ok {
+		t.Fatalf("want unknownStudyError, got %v", err)
+	}
+}

@@ -101,8 +101,9 @@ const (
 
 // Execution modes.
 const (
-	// ModeModel charges compute analytically and moves correctly sized
-	// payloads; scales to 12,288 simulated cores.
+	// ModeModel charges compute analytically and exchanges size-only
+	// messages costed like correctly sized payloads; scales to 12,288
+	// simulated cores.
 	ModeModel = alya.ModeModel
 	// ModeReal runs the actual Navier–Stokes/elasticity numerics.
 	ModeReal = alya.ModeReal

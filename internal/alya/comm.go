@@ -34,6 +34,8 @@ type rankComm struct {
 	// reusable per-neighbour buffers, grown on demand
 	sendBufs [][]float64
 	recvBufs [][]float64
+	// reqs is the reusable request slice for bundled exchanges.
+	reqs []*mpi.Request
 
 	// commCalls counts Exchange invocations, for diagnostics.
 	commCalls int
@@ -98,21 +100,23 @@ func (rc *rankComm) Exchange(fields ...*field.Field) {
 }
 
 // ExchangeModel performs the halo exchange of nFields bundled fields
-// without any field data: the buffers carry zeros of the correct size.
-// ModeModel's replacement for Exchange.
+// without any field data: size-only messages pay every transport cost
+// of the correctly sized payloads while moving no bytes in host
+// memory. ModeModel's replacement for Exchange.
 func (rc *rankComm) ExchangeModel(nFields int) {
 	if len(rc.nbrs) == 0 {
 		return
 	}
 	rc.commCalls++
-	reqs := make([]*mpi.Request, 0, 2*len(rc.nbrs))
-	for i, nb := range rc.nbrs {
-		_, rcv := rc.buffers(i, nb.Count*nFields)
-		reqs = append(reqs, rc.comm.Irecv(nb.Rank, tagHaloBase+int(nb.Face.Opposite()), rcv))
+	if cap(rc.reqs) < 2*len(rc.nbrs) {
+		rc.reqs = make([]*mpi.Request, 0, 2*len(rc.nbrs))
 	}
-	for i, nb := range rc.nbrs {
-		snd, _ := rc.buffers(i, nb.Count*nFields)
-		reqs = append(reqs, rc.comm.Isend(nb.Rank, tagHaloBase+int(nb.Face), snd))
+	reqs := rc.reqs[:0]
+	for _, nb := range rc.nbrs {
+		reqs = append(reqs, rc.comm.IrecvModel(nb.Rank, tagHaloBase+int(nb.Face.Opposite()), nb.Count*nFields))
+	}
+	for _, nb := range rc.nbrs {
+		reqs = append(reqs, rc.comm.IsendModel(nb.Rank, tagHaloBase+int(nb.Face), nb.Count*nFields))
 	}
 	rc.comm.Base().Wait(reqs...)
 }

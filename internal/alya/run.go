@@ -46,8 +46,9 @@ type Mode int
 
 // Execution modes.
 const (
-	// ModeModel charges compute analytically and moves correctly sized
-	// zero payloads. Scales to the paper's 12,288-core runs.
+	// ModeModel charges compute analytically and exchanges size-only
+	// messages costed like correctly sized payloads. Scales to the
+	// paper's 12,288-core runs.
 	ModeModel Mode = iota
 	// ModeReal runs the actual solvers with real data.
 	ModeReal

@@ -10,15 +10,15 @@
 // Every experiment takes an Options value whose zero value reproduces
 // the paper-scale configuration; tests shrink the sweep to keep
 // runtimes reasonable while asserting the same curve shapes.
+//
+// Sweeps execute through the shared Sweep engine: cells are enumerated
+// up front, run on a bounded worker pool (Options.Parallelism), and
+// reassembled in input order, so parallel output is byte-identical to
+// the serial path.
 package experiments
 
 import (
 	"repro/internal/alya"
-	"repro/internal/cluster"
-	"repro/internal/container"
-	"repro/internal/core"
-	"repro/internal/mpi"
-	"repro/internal/sched"
 )
 
 // Options tunes an experiment's sweep without changing its structure.
@@ -30,6 +30,11 @@ type Options struct {
 	Case alya.Case
 	// Mode selects the execution mode (default ModeModel).
 	Mode alya.Mode
+	// Parallelism bounds the number of concurrently executing cells
+	// (0 or negative means runtime.NumCPU()). Results do not depend
+	// on it — cells are independent simulations and the engine keeps
+	// deterministic order.
+	Parallelism int
 }
 
 func (o Options) caseOr(def alya.Case) alya.Case {
@@ -44,27 +49,4 @@ func (o Options) nodesOr(def []int) []int {
 		return def
 	}
 	return o.NodePoints
-}
-
-// runCell is the shared cell executor: build the image for the runtime
-// and technique, then run the configuration.
-func runCell(cl *cluster.Cluster, rt container.Runtime, kind container.BuildKind,
-	cs alya.Case, nodes, ranks, threads int, mode alya.Mode, algo mpi.AllreduceAlgo) (core.Result, error) {
-
-	img, err := core.BuildImageFor(rt, cl, kind)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return core.RunCell(core.Cell{
-		Cluster:   cl,
-		Runtime:   rt,
-		Image:     img,
-		Case:      cs,
-		Nodes:     nodes,
-		Ranks:     ranks,
-		Threads:   threads,
-		Placement: sched.PlaceBlock,
-		Mode:      mode,
-		Allreduce: algo,
-	})
 }

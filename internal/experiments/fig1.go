@@ -53,16 +53,31 @@ func Fig1(opt Options) (*Fig1Result, error) {
 	lenox := cluster.Lenox()
 	cs := opt.caseOr(alya.ArteryCFDLenox())
 	configs := Fig1Configs()
-	out := &Fig1Result{Configs: configs}
-	for _, rt := range container.Runtimes() {
-		s := metrics.Series{Label: rt.Name()}
+	runtimes := container.Runtimes()
+
+	specs := make([]CellSpec, 0, len(runtimes)*len(configs))
+	for _, rt := range runtimes {
 		for _, hc := range configs {
-			res, err := runCell(lenox, rt, container.SystemSpecific, cs,
-				lenox.TotalNodes, hc.Ranks, hc.Threads, opt.Mode, mpi.AllreduceRecursiveDoubling)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s %v: %w", rt.Name(), hc, err)
-			}
-			s.Points = append(s.Points, metrics.Point{X: hc.Ranks, T: res.Exec.Elapsed})
+			specs = append(specs, CellSpec{
+				Label:   fmt.Sprintf("fig1 %s %v", rt.Name(), hc),
+				Cluster: lenox, Runtime: rt, Kind: container.SystemSpecific,
+				Case:  cs,
+				Nodes: lenox.TotalNodes, Ranks: hc.Ranks, Threads: hc.Threads,
+				Mode: opt.Mode, Allreduce: mpi.AllreduceRecursiveDoubling,
+			})
+		}
+	}
+	results, err := NewSweep(opt).Run(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig1Result{Configs: configs}
+	for ri, rt := range runtimes {
+		s := metrics.Series{Label: rt.Name()}
+		for ci := range configs {
+			res := results[ri*len(configs)+ci]
+			s.Points = append(s.Points, metrics.Point{X: configs[ci].Ranks, T: res.Exec.Elapsed})
 		}
 		out.Series = append(out.Series, s)
 	}

@@ -57,17 +57,31 @@ func Fig2(opt Options) (*Fig2Result, error) {
 	cte := cluster.CTEPower()
 	cs := opt.caseOr(alya.ArteryCFDCTEPower())
 	nodes := opt.nodesOr([]int{2, 4, 6, 8, 10, 12, 14, 16})
+	variants := Fig2Variants()
+
+	specs := make([]CellSpec, 0, len(variants)*len(nodes))
+	for _, v := range variants {
+		for _, n := range nodes {
+			specs = append(specs, CellSpec{
+				Label:   fmt.Sprintf("fig2 %s %d nodes", v.Label, n),
+				Cluster: cte, Runtime: v.Runtime, Kind: v.Kind,
+				Case:  cs,
+				Nodes: n, Ranks: n * cte.CoresPerNode(), Threads: 1,
+				Mode: opt.Mode, Allreduce: mpi.AllreduceRecursiveDoubling,
+			})
+		}
+	}
+	results, err := NewSweep(opt).Run(specs)
+	if err != nil {
+		return nil, err
+	}
+
 	out := &Fig2Result{Nodes: nodes}
-	for _, v := range Fig2Variants() {
+	for vi, v := range variants {
 		s := metrics.Series{Label: v.Label}
 		fabricPath := ""
-		for _, n := range nodes {
-			ranks := n * cte.CoresPerNode()
-			res, err := runCell(cte, v.Runtime, v.Kind, cs, n, ranks, 1,
-				opt.Mode, mpi.AllreduceRecursiveDoubling)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s %d nodes: %w", v.Label, n, err)
-			}
+		for ni, n := range nodes {
+			res := results[vi*len(nodes)+ni]
 			s.Points = append(s.Points, metrics.Point{X: n, T: res.Exec.Elapsed})
 			fabricPath = res.Exec.FabricPath
 		}

@@ -31,17 +31,31 @@ func Fig3(opt Options) (*Fig3Result, error) {
 	mn4 := cluster.MareNostrum4()
 	cs := opt.caseOr(alya.ArteryFSIMareNostrum4())
 	nodes := opt.nodesOr([]int{4, 8, 16, 32, 64, 128, 256})
+	variants := Fig2Variants() // same three variants as Fig. 2
+
+	specs := make([]CellSpec, 0, len(variants)*len(nodes))
+	for _, v := range variants {
+		for _, n := range nodes {
+			specs = append(specs, CellSpec{
+				Label:   fmt.Sprintf("fig3 %s %d nodes", v.Label, n),
+				Cluster: mn4, Runtime: v.Runtime, Kind: v.Kind,
+				Case:  cs,
+				Nodes: n, Ranks: n * mn4.CoresPerNode(), Threads: 1,
+				Mode: opt.Mode, Allreduce: mpi.AllreduceHierarchical,
+			})
+		}
+	}
+	results, err := NewSweep(opt).Run(specs)
+	if err != nil {
+		return nil, err
+	}
+
 	out := &Fig3Result{Nodes: nodes}
-	for _, v := range Fig2Variants() { // same three variants as Fig. 2
+	for vi, v := range variants {
 		s := metrics.Series{Label: v.Label}
 		fabricPath := ""
-		for _, n := range nodes {
-			ranks := n * mn4.CoresPerNode()
-			res, err := runCell(mn4, v.Runtime, v.Kind, cs, n, ranks, 1,
-				opt.Mode, mpi.AllreduceHierarchical)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s %d nodes: %w", v.Label, n, err)
-			}
+		for ni, n := range nodes {
+			res := results[vi*len(nodes)+ni]
 			s.Points = append(s.Points, metrics.Point{X: n, T: res.Exec.Elapsed})
 			fabricPath = res.Exec.FabricPath
 		}

@@ -53,18 +53,32 @@ func IOStudy(opt Options) (*IOStudyResult, error) {
 		{"Docker (overlay fs)", appio.PathOverlay},
 		{"Docker (volume)", appio.PathVolume},
 	}
-	out := &IOStudyResult{Checkpoint: ck}
+	type ioCell struct {
+		label string
+		path  appio.Path
+		nodes int
+	}
+	var cells []ioCell
 	for _, cfg := range configs {
 		for _, n := range nodes {
-			ranks := n * lenox.CoresPerNode()
-			rep, err := model.CheckpointTime(lenox, n, ranks, ck, cfg.path)
-			if err != nil {
-				return nil, fmt.Errorf("iostudy %s %d nodes: %w", cfg.label, n, err)
-			}
-			out.Rows = append(out.Rows, IORow{
-				Runtime: cfg.label, Path: cfg.path, Nodes: n, Report: rep,
-			})
+			cells = append(cells, ioCell{label: cfg.label, path: cfg.path, nodes: n})
 		}
+	}
+
+	out := &IOStudyResult{Checkpoint: ck, Rows: make([]IORow, len(cells))}
+	sw := NewSweep(opt)
+	err := sw.Each(len(cells), func(i int) error {
+		c := cells[i]
+		ranks := c.nodes * lenox.CoresPerNode()
+		rep, err := model.CheckpointTime(lenox, c.nodes, ranks, ck, c.path)
+		if err != nil {
+			return fmt.Errorf("iostudy %s %d nodes: %w", c.label, c.nodes, err)
+		}
+		out.Rows[i] = IORow{Runtime: c.label, Path: c.path, Nodes: c.nodes, Report: rep}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

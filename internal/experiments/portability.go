@@ -52,7 +52,9 @@ func portabilityClusters() []*cluster.Cluster {
 
 // Portability reproduces the build-technique × architecture study:
 // every image is built once (for its source cluster and technique) and
-// executed everywhere.
+// executed everywhere. The (build, target) attempts are enumerated up
+// front and run concurrently on the sweep engine; builds are memoized,
+// so the engine performs one build per (source, technique).
 func Portability(opt Options) (*PortabilityResult, error) {
 	targets := portabilityClusters()
 	sing := container.Singularity{Version: "2.5.x"}
@@ -60,40 +62,56 @@ func Portability(opt Options) (*PortabilityResult, error) {
 	cs.SimSteps = 1
 	cs.Steps = 1
 
-	out := &PortabilityResult{}
+	type attempt struct {
+		source *cluster.Cluster
+		kind   container.BuildKind
+		target *cluster.Cluster
+	}
+	var attempts []attempt
 	for _, source := range targets {
 		for _, kind := range []container.BuildKind{container.SystemSpecific, container.SelfContained} {
-			img, err := core.BuildImageFor(sing, source, kind)
-			if err != nil {
-				return nil, fmt.Errorf("portability build %s/%v: %w", source.Name, kind, err)
-			}
 			for _, target := range targets {
-				cell := PortabilityCell{
-					ImageArch: img.Arch,
-					Kind:      kind,
-					BuiltFor:  source.Name,
-					Cluster:   target.Name,
-				}
-				profile, err := sing.ExecProfile(target, img)
-				switch {
-				case errors.Is(err, container.ErrWrongArch):
-					cell.Why = "wrong architecture (exec format error)"
-				case errors.Is(err, container.ErrHostABI):
-					cell.Why = "host MPI/fabric ABI mismatch"
-				case err != nil:
-					cell.Why = err.Error()
-				default:
-					cell.Runs = true
-					cell.Why = "runs via " + profile.FabricPath
-					slow, err := portabilitySlowdown(target, sing, img, cs, opt.Mode)
-					if err != nil {
-						return nil, fmt.Errorf("portability run %s on %s: %w", img.Kind, target.Name, err)
-					}
-					cell.SlowdownVsBare = slow
-				}
-				out.Cells = append(out.Cells, cell)
+				attempts = append(attempts, attempt{source: source, kind: kind, target: target})
 			}
 		}
+	}
+
+	out := &PortabilityResult{Cells: make([]PortabilityCell, len(attempts))}
+	sw := NewSweep(opt)
+	err := sw.Each(len(attempts), func(i int) error {
+		a := attempts[i]
+		img, err := sw.ImageFor(sing, a.source, a.kind)
+		if err != nil {
+			return fmt.Errorf("portability build %s/%v: %w", a.source.Name, a.kind, err)
+		}
+		cell := PortabilityCell{
+			ImageArch: img.Arch,
+			Kind:      a.kind,
+			BuiltFor:  a.source.Name,
+			Cluster:   a.target.Name,
+		}
+		profile, err := sing.ExecProfile(a.target, img)
+		switch {
+		case errors.Is(err, container.ErrWrongArch):
+			cell.Why = "wrong architecture (exec format error)"
+		case errors.Is(err, container.ErrHostABI):
+			cell.Why = "host MPI/fabric ABI mismatch"
+		case err != nil:
+			cell.Why = err.Error()
+		default:
+			cell.Runs = true
+			cell.Why = "runs via " + profile.FabricPath
+			slow, err := portabilitySlowdown(a.target, sing, img, cs, opt.Mode)
+			if err != nil {
+				return fmt.Errorf("portability run %s on %s: %w", img.Kind, a.target.Name, err)
+			}
+			cell.SlowdownVsBare = slow
+		}
+		out.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

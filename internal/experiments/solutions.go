@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/container"
-	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/units"
 )
@@ -38,22 +37,30 @@ type SolutionsResult struct {
 }
 
 // Solutions reproduces the deployment-overhead and image-size
-// comparison of Docker, Singularity, and Shifter on Lenox.
+// comparison of Docker, Singularity, and Shifter on Lenox. Runtimes
+// are measured concurrently on the sweep engine's worker pool; row
+// order stays the study order.
 func Solutions(opt Options) (*SolutionsResult, error) {
 	lenox := cluster.Lenox()
 	nodes := opt.nodesOr([]int{1, 2, 4})
-	out := &SolutionsResult{Nodes: nodes}
+	var runtimes []container.Runtime
 	for _, rt := range container.Runtimes() {
-		if _, bare := rt.(container.BareMetal); bare {
-			continue
+		if _, bare := rt.(container.BareMetal); !bare {
+			runtimes = append(runtimes, rt)
 		}
-		img, err := core.BuildImageFor(rt, lenox, container.SystemSpecific)
+	}
+
+	out := &SolutionsResult{Nodes: nodes, Rows: make([]SolutionRow, len(runtimes))}
+	sw := NewSweep(opt)
+	err := sw.Each(len(runtimes), func(i int) error {
+		rt := runtimes[i]
+		img, err := sw.ImageFor(rt, lenox, container.SystemSpecific)
 		if err != nil {
-			return nil, fmt.Errorf("solutions %s: %w", rt.Name(), err)
+			return fmt.Errorf("solutions %s: %w", rt.Name(), err)
 		}
 		profile, err := rt.ExecProfile(lenox, img)
 		if err != nil {
-			return nil, fmt.Errorf("solutions %s: %w", rt.Name(), err)
+			return fmt.Errorf("solutions %s: %w", rt.Name(), err)
 		}
 		row := SolutionRow{
 			Runtime:       rt.Name(),
@@ -64,7 +71,7 @@ func Solutions(opt Options) (*SolutionsResult, error) {
 		for _, n := range nodes {
 			rep, err := rt.Deploy(lenox, img, n)
 			if err != nil {
-				return nil, fmt.Errorf("solutions %s %d nodes: %w", rt.Name(), n, err)
+				return fmt.Errorf("solutions %s %d nodes: %w", rt.Name(), n, err)
 			}
 			row.DeployByNodes[n] = rep.Total()
 			if n == nodes[len(nodes)-1] {
@@ -75,7 +82,11 @@ func Solutions(opt Options) (*SolutionsResult, error) {
 				row.WireSize = rep.WireSize
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// CellSpec is one unit of work in a sweep: where a measurement runs,
+// how its image is built, and the cell configuration. The engine
+// builds (and memoizes) the image, so specs stay cheap to enumerate.
+type CellSpec struct {
+	// Label names the cell in error messages ("fig1 Docker 8x14").
+	Label string
+	// Cluster is the target machine.
+	Cluster *cluster.Cluster
+	// Runtime executes the cell; Kind is the image-build technique
+	// (ignored for bare metal).
+	Runtime container.Runtime
+	Kind    container.BuildKind
+	// Case and the hybrid configuration mirror core.Cell.
+	Case                  alya.Case
+	Nodes, Ranks, Threads int
+	Mode                  alya.Mode
+	Allreduce             mpi.AllreduceAlgo
+}
+
+// Sweep executes study cells on a bounded worker pool. Each cell is an
+// independent virtual-time simulation, so cells run concurrently while
+// results keep deterministic input order — parallel sweeps are
+// byte-identical to serial ones. Image builds are memoized per
+// (runtime, cluster, technique), so a sweep builds each image once
+// instead of once per cell.
+type Sweep struct {
+	workers int
+
+	mu     sync.Mutex
+	images map[imageKey]*imageEntry
+}
+
+// imageKey identifies one memoized build. Runtime implementations are
+// comparable value types, so the interface value itself (which carries
+// the version) is part of the key.
+type imageKey struct {
+	rt      container.Runtime
+	cluster string
+	kind    container.BuildKind
+}
+
+// imageEntry coalesces concurrent builds of the same image.
+type imageEntry struct {
+	once sync.Once
+	img  *container.Image
+	err  error
+}
+
+// NewSweep creates an engine honouring opt.Parallelism (default:
+// runtime.NumCPU()).
+func NewSweep(opt Options) *Sweep {
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Sweep{workers: workers, images: make(map[imageKey]*imageEntry)}
+}
+
+// ImageFor returns the memoized image for (runtime, cluster,
+// technique), building it on first use. Concurrent callers share one
+// build. Bare metal returns nil, as core.BuildImageFor does.
+func (s *Sweep) ImageFor(rt container.Runtime, cl *cluster.Cluster, kind container.BuildKind) (*container.Image, error) {
+	key := imageKey{rt: rt, cluster: cl.Name, kind: kind}
+	s.mu.Lock()
+	e, ok := s.images[key]
+	if !ok {
+		e = &imageEntry{}
+		s.images[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.img, e.err = core.BuildImageFor(rt, cl, kind) })
+	return e.img, e.err
+}
+
+// Each runs fn(i) for every i in [0, n) on the worker pool and blocks
+// until all calls return. Work is claimed in index order and stops
+// being claimed after the first failure (cells already running finish,
+// so expensive sweeps fail fast); when several calls fail, the
+// lowest-index error is returned. Claim order makes that error
+// deterministic: every index below a failing one was claimed before
+// the failure could stop the pool, so the serial and parallel paths
+// report the same cell. fn writes its own output slot — slots are
+// disjoint, so no locking is needed.
+func (s *Sweep) Each(n int, fn func(i int) error) error {
+	return s.each(n, s.workers, fn)
+}
+
+func (s *Sweep) each(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					// Check the flag before claiming: a claimed index
+					// must always execute, or an error at a higher
+					// index could mask one below it.
+					if failed.Load() {
+						return
+					}
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					if errs[i] = fn(i); errs[i] != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rankBudget bounds the total simulated ranks in flight: every rank
+// is a goroutine (stack plus solver state), so a pool of NumCPU
+// paper-scale cells — fig3's largest simulates 12,288 ranks — would
+// multiply peak memory by the core count. Cells above the budget
+// still run, one at a time.
+const rankBudget = 32768
+
+// workersFor bounds the pool so concurrent cells stay within
+// rankBudget simulated ranks, using the sweep's largest cell as the
+// weight.
+func (s *Sweep) workersFor(specs []CellSpec) int {
+	maxRanks := 1
+	for _, sp := range specs {
+		if sp.Ranks > maxRanks {
+			maxRanks = sp.Ranks
+		}
+	}
+	workers := s.workers
+	if fit := rankBudget / maxRanks; fit < workers {
+		workers = fit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes every spec and returns the results in spec order. A
+// failing cell's error is wrapped with its Label.
+func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
+	results := make([]core.Result, len(specs))
+	err := s.each(len(specs), s.workersFor(specs), func(i int) error {
+		res, err := s.runSpec(specs[i])
+		if err != nil {
+			return &CellError{Label: specs[i].Label, Err: err}
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runSpec executes one cell: memoized image build, then the
+// measurement.
+func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
+	img, err := s.ImageFor(sp.Runtime, sp.Cluster, sp.Kind)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.RunCell(core.Cell{
+		Cluster:   sp.Cluster,
+		Runtime:   sp.Runtime,
+		Image:     img,
+		Case:      sp.Case,
+		Nodes:     sp.Nodes,
+		Ranks:     sp.Ranks,
+		Threads:   sp.Threads,
+		Placement: sched.PlaceBlock,
+		Mode:      sp.Mode,
+		Allreduce: sp.Allreduce,
+	})
+}
+
+// CellError annotates a cell failure with the cell's label.
+type CellError struct {
+	Label string
+	Err   error
+}
+
+// Error implements error.
+func (e *CellError) Error() string { return e.Label + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }

@@ -133,9 +133,21 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 	return c.r.Isend(c.ranks[dst], tag, data)
 }
 
+// IsendModel starts a nonblocking size-only send of n float64s to a
+// comm rank: full transport costs, no payload in host memory.
+func (c *Comm) IsendModel(dst, tag, n int) *Request {
+	return c.r.IsendModel(c.ranks[dst], tag, n)
+}
+
 // Irecv posts a nonblocking receive from a comm rank.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	return c.r.Irecv(c.ranks[src], tag, buf)
+}
+
+// IrecvModel posts a nonblocking size-only receive of n float64s from
+// a comm rank.
+func (c *Comm) IrecvModel(src, tag, n int) *Request {
+	return c.r.IrecvModel(c.ranks[src], tag, n)
 }
 
 // Base returns the underlying world rank handle (for Wait, Compute,

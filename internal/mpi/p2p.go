@@ -10,10 +10,14 @@ import (
 // message is an in-flight point-to-point payload.
 type message struct {
 	src, dst, tag int
-	data          []float64
-	size          units.ByteSize
-	tr            *fabric.Transport
-	eager         bool
+	// data carries the payload values; nil for size-only (model)
+	// messages, which move no bytes in host memory but are costed
+	// exactly like a payload of count float64s.
+	data  []float64
+	count int
+	size  units.ByteSize
+	tr    *fabric.Transport
+	eager bool
 	// readyAt is, for eager messages, the time the payload is fully
 	// available at the receiver; for rendezvous messages, the time the
 	// sender posted (RTS time).
@@ -31,7 +35,10 @@ type message struct {
 // recvPost is a posted receive awaiting a matching send.
 type recvPost struct {
 	src, tag int
+	// buf receives the payload; nil for size-only (model) receives
+	// that only validate the expected count.
 	buf      []float64
+	count    int
 	postedAt units.Seconds
 	req      *Request
 	owner    *Rank
@@ -113,7 +120,14 @@ func (w *World) deliver(tr *fabric.Transport, srcNode int, start units.Seconds, 
 // use rendezvous and block the sender until the receiver has the data —
 // matching the synchronous behaviour of real MPI large-message sends.
 func (r *Rank) Send(dst, tag int, data []float64) {
-	r.timed(func() { r.send(dst, tag, data, nil) })
+	r.timed(func() { r.send(dst, tag, data, len(data), nil) })
+}
+
+// SendModel is Send for a size-only payload of n float64s: it pays
+// every transport cost of the full message without moving data — the
+// workload model's replacement for sending a zero buffer.
+func (r *Rank) SendModel(dst, tag, n int) {
+	r.timed(func() { r.send(dst, tag, nil, n, nil) })
 }
 
 // Isend starts a nonblocking send and returns its request. Eager sends
@@ -123,13 +137,25 @@ func (r *Rank) Isend(dst, tag int, data []float64) *Request {
 	var req *Request
 	r.timed(func() {
 		req = r.newRequest("isend")
-		r.send(dst, tag, data, req)
+		r.send(dst, tag, data, len(data), req)
 	})
 	return req
 }
 
-// send implements both Send (req == nil) and Isend (req != nil).
-func (r *Rank) send(dst, tag int, data []float64, req *Request) {
+// IsendModel is Isend for a size-only payload of n float64s.
+func (r *Rank) IsendModel(dst, tag, n int) *Request {
+	var req *Request
+	r.timed(func() {
+		req = r.newRequest("isend")
+		r.send(dst, tag, nil, n, req)
+	})
+	return req
+}
+
+// send implements Send/SendModel (req == nil) and Isend/IsendModel
+// (req != nil). data is nil for size-only messages; count is the
+// payload length in float64s in either case.
+func (r *Rank) send(dst, tag int, data []float64, count int, req *Request) {
 	if dst < 0 || dst >= r.w.cfg.Ranks {
 		panic(fmt.Sprintf("mpi: rank %d sends to invalid rank %d", r.id, dst))
 	}
@@ -137,21 +163,25 @@ func (r *Rank) send(dst, tag int, data []float64, req *Request) {
 		panic(fmt.Sprintf("mpi: rank %d sends to itself (tag %d)", r.id, tag))
 	}
 	tr := r.path(dst)
-	size := payloadSize(len(data))
+	size := payloadSize(count)
 	r.proc.Sync() // establish global virtual-time order before matching
 	r.bytesSent += size
 	r.msgsSent++
 
 	// The payload is copied at send time: MPI buffer semantics. The
-	// copy also prevents aliasing bugs between rank bodies.
-	payload := make([]float64, len(data))
-	copy(payload, data)
+	// copy also prevents aliasing bugs between rank bodies. Size-only
+	// messages skip the copy — there is nothing to alias.
+	var payload []float64
+	if data != nil {
+		payload = make([]float64, len(data))
+		copy(payload, data)
+	}
 
 	eager := tr.Eager(size)
 	cpu := tr.CPUCost(size)
 	msg := &message{
 		src: r.id, dst: dst, tag: tag,
-		data: payload, size: size, tr: tr,
+		data: payload, count: count, size: size, tr: tr,
 		eager: eager, sender: r, sreq: req,
 		sentAt: r.proc.Now(),
 	}
@@ -200,7 +230,15 @@ func (r *Rank) send(dst, tag int, data []float64, req *Request) {
 // simulator is the most useful behaviour for a truncation bug.
 func (r *Rank) Recv(src, tag int, buf []float64) {
 	r.timed(func() {
-		req := r.irecv(src, tag, buf)
+		req := r.irecv(src, tag, buf, len(buf))
+		r.waitOne(req)
+	})
+}
+
+// RecvModel is Recv for a size-only message of n float64s.
+func (r *Rank) RecvModel(src, tag, n int) {
+	r.timed(func() {
+		req := r.irecv(src, tag, nil, n)
 		r.waitOne(req)
 	})
 }
@@ -208,11 +246,18 @@ func (r *Rank) Recv(src, tag int, buf []float64) {
 // Irecv posts a nonblocking receive into buf.
 func (r *Rank) Irecv(src, tag int, buf []float64) *Request {
 	var req *Request
-	r.timed(func() { req = r.irecv(src, tag, buf) })
+	r.timed(func() { req = r.irecv(src, tag, buf, len(buf)) })
 	return req
 }
 
-func (r *Rank) irecv(src, tag int, buf []float64) *Request {
+// IrecvModel posts a nonblocking size-only receive of n float64s.
+func (r *Rank) IrecvModel(src, tag, n int) *Request {
+	var req *Request
+	r.timed(func() { req = r.irecv(src, tag, nil, n) })
+	return req
+}
+
+func (r *Rank) irecv(src, tag int, buf []float64, count int) *Request {
 	if src < 0 || src >= r.w.cfg.Ranks {
 		panic(fmt.Sprintf("mpi: rank %d receives from invalid rank %d", r.id, src))
 	}
@@ -222,7 +267,7 @@ func (r *Rank) irecv(src, tag int, buf []float64) *Request {
 	req := r.newRequest("irecv")
 	r.proc.Sync()
 	box := &r.w.boxes[r.id]
-	post := &recvPost{src: src, tag: tag, buf: buf, postedAt: r.proc.Now(), req: req, owner: r}
+	post := &recvPost{src: src, tag: tag, buf: buf, count: count, postedAt: r.proc.Now(), req: req, owner: r}
 	if msg := box.matchSend(src, tag); msg != nil {
 		r.matchAsReceiver(post, msg)
 		return req
@@ -289,11 +334,20 @@ func (r *Rank) wakeIfBlocked(peer *Rank, at units.Seconds) {
 }
 
 func copyPayload(post *recvPost, msg *message) {
-	if len(post.buf) != len(msg.data) {
+	if post.count != msg.count {
 		panic(fmt.Sprintf("mpi: recv buffer length %d != message length %d (src %d dst %d tag %d)",
-			len(post.buf), len(msg.data), msg.src, msg.dst, msg.tag))
+			post.count, msg.count, msg.src, msg.dst, msg.tag))
 	}
-	copy(post.buf, msg.data)
+	// Size-only endpoints move no data between themselves. A size-only
+	// message delivers zeros, so a real receive buffer matched against
+	// one is cleared to preserve the zero-payload semantics.
+	switch {
+	case post.buf == nil:
+	case msg.data != nil:
+		copy(post.buf, msg.data)
+	default:
+		clear(post.buf)
+	}
 }
 
 // Wait blocks until every request completes, advancing the rank's clock

@@ -70,6 +70,14 @@ func (p *Proc) AdvanceTo(t units.Seconds) {
 // afterwards the process is guaranteed to be the earliest actor.
 func (p *Proc) Sync() {
 	p.checkRunning("Sync")
+	// Fast path: when no runnable process precedes this one in
+	// (time, ID) order the scheduler would resume it immediately, so
+	// the coroutine round trip through the run loop can be skipped.
+	// Blocked processes cannot become runnable here — only a running
+	// process wakes them — so the heap minimum is the full picture.
+	if len(p.sched.heap) == 0 || p.sched.less(p, p.sched.heap[0]) {
+		return
+	}
 	p.state = stateRunnable
 	p.sched.push(p)
 	p.sched.events <- p
