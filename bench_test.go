@@ -311,6 +311,40 @@ func BenchmarkMPIAllreduceScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepCached measures the warm-cache hit path: a figure
+// regenerated entirely from a populated result store, executing zero
+// simulations. The reported wall time is the cost of key hashing,
+// record reads, and restore — the floor a resumed or merged sweep
+// pays per cell.
+func BenchmarkSweepCached(b *testing.B) {
+	store, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	opt := Options{Case: benchFSICase(), NodePoints: []int{4, 16}, Store: store}
+	if _, err := Fig3(opt); err != nil { // populate once, untimed
+		b.Fatal(err)
+	}
+	cells := int64(len(opt.NodePoints) * 3) // 3 variants per node point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := &SweepStats{}
+		o := opt
+		o.Stats = stats
+		if _, err := Fig3(o); err != nil {
+			b.Fatal(err)
+		}
+		if got := stats.Computed.Load(); got != 0 {
+			b.Fatalf("warm run simulated %d cells", got)
+		}
+		if got := stats.Hits.Load(); got != cells {
+			b.Fatalf("warm run replayed %d cells, want %d", got, cells)
+		}
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
 // BenchmarkIOStudy regenerates E6: the checkpoint-I/O extension (the
 // paper's named future work).
 func BenchmarkIOStudy(b *testing.B) {

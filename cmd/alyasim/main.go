@@ -11,32 +11,69 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	containerhpc "repro"
 )
 
 func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // -h: the FlagSet printed the usage; not a failure
+		}
+		var ue usageError
+		if errors.As(err, &ue) {
+			// The FlagSet already printed the parse error and usage.
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "alyasim:", err)
+		os.Exit(1)
+	}
+}
+
+// usageError marks flag-parse failures the FlagSet has already
+// reported to stderr; main answers them with exit code 2 and no
+// duplicate message.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying cause (flag.ErrHelp in particular).
+func (e usageError) Unwrap() error { return e.err }
+
+// run is the whole CLI behind the process boundary: parse args,
+// execute the cell, print the breakdown into w. Tests drive it
+// directly.
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("alyasim", flag.ContinueOnError)
 	var (
-		clusterName = flag.String("cluster", "Lenox", "Lenox | MareNostrum4 | CTE-POWER | ThunderX")
-		runtimeName = flag.String("runtime", "Singularity", "Bare-metal | Docker | Singularity | Shifter")
-		kindName    = flag.String("kind", "system-specific", "system-specific | self-contained")
-		caseName    = flag.String("case", "quick-cfd", "cfd-lenox | cfd-ctepower | fsi-mn4 | quick-cfd | quick-fsi")
-		nodes       = flag.Int("nodes", 2, "allocation size in nodes")
-		ranks       = flag.Int("ranks", 0, "MPI ranks (default nodes × cores/node ÷ threads)")
-		threads     = flag.Int("threads", 1, "OpenMP threads per rank")
-		modeName    = flag.String("mode", "model", "model | real")
-		algoName    = flag.String("allreduce", "recursive-doubling", "recursive-doubling | ring | reduce+bcast | hierarchical")
-		steps       = flag.Int("steps", 0, "override simulated steps (0 = case default)")
+		clusterName = fs.String("cluster", "Lenox", "Lenox | MareNostrum4 | CTE-POWER | ThunderX")
+		runtimeName = fs.String("runtime", "Singularity", "Bare-metal | Docker | Singularity | Shifter")
+		kindName    = fs.String("kind", "system-specific", "system-specific | self-contained")
+		caseName    = fs.String("case", "quick-cfd", "cfd-lenox | cfd-ctepower | fsi-mn4 | quick-cfd | quick-fsi")
+		nodes       = fs.Int("nodes", 2, "allocation size in nodes")
+		ranks       = fs.Int("ranks", 0, "MPI ranks (default nodes × cores/node ÷ threads)")
+		threads     = fs.Int("threads", 1, "OpenMP threads per rank")
+		modeName    = fs.String("mode", "model", "model | real")
+		algoName    = fs.String("allreduce", "recursive-doubling", "recursive-doubling | ring | reduce+bcast | hierarchical")
+		steps       = fs.Int("steps", 0, "override simulated steps (0 = case default)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
 
 	cl, err := containerhpc.ClusterByName(*clusterName)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 	rt, err := containerhpc.RuntimeByName(*runtimeName)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
 	kind := containerhpc.SystemSpecific
 	switch *kindName {
@@ -44,7 +81,7 @@ func main() {
 	case "self-contained":
 		kind = containerhpc.SelfContained
 	default:
-		fatal(fmt.Errorf("unknown build kind %q", *kindName))
+		return fmt.Errorf("unknown build kind %q", *kindName)
 	}
 
 	var cs containerhpc.Case
@@ -60,7 +97,7 @@ func main() {
 	case "quick-fsi":
 		cs = containerhpc.QuickFSI(5)
 	default:
-		fatal(fmt.Errorf("unknown case %q", *caseName))
+		return fmt.Errorf("unknown case %q", *caseName)
 	}
 	if *steps > 0 {
 		cs.Steps = *steps
@@ -70,8 +107,12 @@ func main() {
 	}
 
 	mode := containerhpc.ModeModel
-	if *modeName == "real" {
+	switch *modeName {
+	case "model":
+	case "real":
 		mode = containerhpc.ModeReal
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
 	}
 
 	var algo containerhpc.AllreduceAlgo
@@ -85,7 +126,7 @@ func main() {
 	case "hierarchical":
 		algo = containerhpc.AllreduceHierarchical
 	default:
-		fatal(fmt.Errorf("unknown allreduce algorithm %q", *algoName))
+		return fmt.Errorf("unknown allreduce algorithm %q", *algoName)
 	}
 
 	r := *ranks
@@ -94,39 +135,37 @@ func main() {
 	}
 
 	img, err := containerhpc.BuildImage(rt, cl, kind)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
 	res, err := containerhpc.RunCell(containerhpc.Cell{
 		Cluster: cl, Runtime: rt, Image: img, Case: cs,
 		Nodes: *nodes, Ranks: r, Threads: *threads,
 		Placement: containerhpc.PlaceBlock, Mode: mode, Allreduce: algo,
 	})
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("cell: %s / %s (%s) / %s  —  %d nodes × %d ranks × %d threads [%v]\n",
+	fmt.Fprintf(w, "cell: %s / %s (%s) / %s  —  %d nodes × %d ranks × %d threads [%v]\n",
 		cl.Name, rt.Name(), *kindName, cs.Name, *nodes, r, *threads, mode)
 	if img != nil {
-		fmt.Printf("image:      %s  %v (%v compressed, %s)\n",
+		fmt.Fprintf(w, "image:      %s  %v (%v compressed, %s)\n",
 			img.Ref(), img.Size(), img.CompressedSize(), img.Format)
 	}
-	fmt.Printf("deploy:     total %v  (pull %v, convert %v, stage %v, start %v)\n",
+	fmt.Fprintf(w, "deploy:     total %v  (pull %v, convert %v, stage %v, start %v)\n",
 		res.Deploy.Total(), res.Deploy.PullTime, res.Deploy.ConvertTime,
 		res.Deploy.StageTime, res.Deploy.StartTime)
-	fmt.Printf("fabric:     %s\n", res.Exec.FabricPath)
-	fmt.Printf("launch:     %v\n", res.Exec.LaunchTime)
-	fmt.Printf("time/step:  %v\n", res.Exec.TimePerStep)
-	fmt.Printf("elapsed:    %v  (%d steps)\n", res.Exec.Elapsed, cs.Steps)
-	fmt.Printf("mpi:        %d messages, %v payload, max comm %v\n",
+	fmt.Fprintf(w, "fabric:     %s\n", res.Exec.FabricPath)
+	fmt.Fprintf(w, "launch:     %v\n", res.Exec.LaunchTime)
+	fmt.Fprintf(w, "time/step:  %v\n", res.Exec.TimePerStep)
+	fmt.Fprintf(w, "elapsed:    %v  (%d steps)\n", res.Exec.Elapsed, cs.Steps)
+	fmt.Fprintf(w, "mpi:        %d messages, %v payload, max comm %v\n",
 		res.Exec.MPI.TotalMessages, res.Exec.MPI.TotalBytes, res.Exec.MPI.MaxCommTime)
 	if mode == containerhpc.ModeReal {
-		fmt.Printf("solver:     avg CG iters/step %.1f, final max|div u| %.3e\n",
+		fmt.Fprintf(w, "solver:     avg CG iters/step %.1f, final max|div u| %.3e\n",
 			res.Exec.AvgCGIters, res.Exec.MaxDivergence)
 	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "alyasim:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSingularityModelCell smoke-tests the default path: a model-mode
+// Singularity cell on Lenox, printing every section of the breakdown.
+func TestSingularityModelCell(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-cluster", "Lenox", "-runtime", "Singularity",
+		"-case", "quick-cfd", "-nodes", "2", "-ranks", "8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"cell: Lenox / Singularity (system-specific) / quick-cfd",
+		"image:", "deploy:", "fabric:", "launch:", "time/step:", "elapsed:", "mpi:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "solver:") {
+		t.Error("model mode printed the real-numerics solver line")
+	}
+}
+
+// TestBareMetalRealCell covers the bare-metal + ModeReal path: no
+// image line, solver diagnostics present.
+func TestBareMetalRealCell(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-cluster", "Lenox", "-runtime", "Bare-metal",
+		"-case", "quick-cfd", "-mode", "real", "-nodes", "2", "-ranks", "8", "-steps", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "image:") {
+		t.Error("bare metal printed an image line")
+	}
+	if !strings.Contains(out, "solver:") {
+		t.Errorf("real mode missing solver diagnostics:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 steps)") {
+		t.Errorf("-steps override not applied:\n%s", out)
+	}
+}
+
+// TestBadArguments asserts every enum flag rejects unknown values with
+// an error instead of running a half-configured cell.
+func TestBadArguments(t *testing.T) {
+	cases := [][]string{
+		{"-cluster", "Summit"},
+		{"-runtime", "Podman"},
+		{"-kind", "static"},
+		{"-case", "lid-cavity"},
+		{"-mode", "hybrid"},
+		{"-allreduce", "butterfly"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(&sb, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestParseErrorIsUsage asserts malformed flag syntax is classified
+// as a usage error (exit 2 in main), distinct from runtime failures.
+func TestParseErrorIsUsage(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-nodes", "many"})
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want usageError, got %T: %v", err, err)
+	}
+}
+
+// TestDockerNeedsRoot asserts a runtime/cluster mismatch surfaces as
+// an error through the CLI path.
+func TestDockerNeedsRoot(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-cluster", "MareNostrum4", "-runtime", "Docker", "-nodes", "2", "-ranks", "8"})
+	if err == nil || !strings.Contains(err.Error(), "administrative rights") {
+		t.Fatalf("want needs-root error, got %v", err)
+	}
+}

@@ -4,6 +4,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,39 +23,49 @@ func main() {
 		which = os.Args[1]
 	}
 	start := time.Now()
+	if err := run(os.Stdout, which); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wall:", time.Since(start))
+}
+
+// run regenerates one calibration view into w — the whole harness
+// behind argument parsing, so tests can drive it directly.
+func run(w io.Writer, which string) error {
 	switch which {
 	case "fig1":
 		small := alya.ArteryCFDLenox()
 		small.SimSteps = 1
 		f, err := experiments.Fig1(experiments.Options{Case: small})
 		if err != nil {
-			fmt.Println("error:", err)
-			os.Exit(1)
+			return err
 		}
-		f.Render(os.Stdout)
+		f.Render(w)
 	case "fig2":
 		small := alya.ArteryCFDCTEPower()
 		small.SimSteps = 1
 		f, err := experiments.Fig2(experiments.Options{Case: small, NodePoints: []int{2, 4, 8, 12, 16}})
 		if err != nil {
-			fmt.Println("error:", err)
-			os.Exit(1)
+			return err
 		}
-		f.Render(os.Stdout)
+		f.Render(w)
 	case "fig3":
 		small := alya.ArteryFSIMareNostrum4()
 		f, err := experiments.Fig3(experiments.Options{Case: small, NodePoints: []int{4, 8, 16, 32, 64}})
 		if err != nil {
-			fmt.Println("error:", err)
-			os.Exit(1)
+			return err
 		}
-		f.Render(os.Stdout)
+		f.Render(w)
 	case "fsibreak":
 		mn4 := cluster.MareNostrum4()
 		cs := alya.ArteryFSIMareNostrum4()
 		sing := container.Singularity{}
 		for _, kind := range []container.BuildKind{container.SystemSpecific, container.SelfContained} {
-			img, _ := core.BuildImageFor(sing, mn4, kind)
+			img, err := core.BuildImageFor(sing, mn4, kind)
+			if err != nil {
+				return err
+			}
 			for _, n := range []int{4, 16, 64} {
 				res, err := core.RunCell(core.Cell{
 					Cluster: mn4, Runtime: sing, Image: img, Case: cs,
@@ -62,10 +73,9 @@ func main() {
 					Placement: sched.PlaceBlock, Allreduce: mpi.AllreduceReduceBcast,
 				})
 				if err != nil {
-					fmt.Println("error:", err)
-					os.Exit(1)
+					return err
 				}
-				fmt.Printf("%-16s n=%-4d step=%-10v commFrac=%.3f maxComm=%v avgComm=%v\n",
+				fmt.Fprintf(w, "%-16s n=%-4d step=%-10v commFrac=%.3f maxComm=%v avgComm=%v\n",
 					kind, n, res.Exec.TimePerStep, res.Exec.CommFraction,
 					res.Exec.MPI.MaxCommTime, res.Exec.MPI.AvgCommTime)
 			}
@@ -73,10 +83,11 @@ func main() {
 	case "solutions":
 		s, err := experiments.Solutions(experiments.Options{})
 		if err != nil {
-			fmt.Println("error:", err)
-			os.Exit(1)
+			return err
 		}
-		s.Render(os.Stdout)
+		s.Render(w)
+	default:
+		return fmt.Errorf("unknown view %q (fig1 | fig2 | fig3 | fsibreak | solutions)", which)
 	}
-	fmt.Println("wall:", time.Since(start))
+	return nil
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSolutionsView smoke-tests the cheapest calibration view end to
+// end: the deployment-overhead table renders through the CLI path.
+func TestSolutionsView(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "solutions"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Containerization solutions on Lenox", "Docker", "Singularity", "Shifter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solutions output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUnknownView asserts a bad view name errors and lists the
+// choices instead of silently printing nothing (the pre-refactor
+// behaviour).
+func TestUnknownView(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, "fig9")
+	if err == nil {
+		t.Fatal("unknown view accepted")
+	}
+	if !strings.Contains(err.Error(), "fig9") || !strings.Contains(err.Error(), "solutions") {
+		t.Fatalf("error does not name the view or the choices: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("unknown view produced output: %q", sb.String())
+	}
+}

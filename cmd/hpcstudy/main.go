@@ -2,7 +2,10 @@
 //
 // Usage:
 //
-//	hpcstudy [-quick] [-csv] [-parallel N] <fig1|fig2|fig3|solutions|portability|iostudy|all>
+//	hpcstudy [-quick] [-csv] [-parallel N] [-cache-dir DIR [-shard k/N]] <study>
+//	hpcstudy -cache-dir DIR [flags] merge <study>
+//
+// where <study> is fig1|fig2|fig3|solutions|portability|iostudy|all.
 //
 // Without -quick every experiment runs at paper scale; fig3's 256-node
 // point simulates 12,288 MPI ranks and takes several minutes of wall
@@ -10,9 +13,19 @@
 // same qualitative shapes. -csv emits machine-readable data instead of
 // tables. -parallel bounds the number of concurrently simulated cells
 // (default: all CPUs); results are identical at every setting.
+//
+// -cache-dir attaches a persistent result store: cells already in the
+// store are replayed instead of simulated, and fresh cells are
+// committed, so a rerun is byte-identical to the first run while
+// simulating nothing. -shard k/N restricts one invocation to a
+// deterministic 1-of-N slice of the cells, so N processes or machines
+// populate one shared store without coordination; the merge verb then
+// assembles the complete figure purely from the store, failing with
+// the list of missing cell keys if any shard has not finished.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,29 +45,54 @@ var (
 	quickFig3Nodes = []int{4, 8, 16, 32, 64}
 )
 
+// cliConfig carries every flag behind the study argument.
+type cliConfig struct {
+	quick, csv bool
+	parallel   int
+	cacheDir   string
+	shard      string // "k/N", empty = no sharding
+	merge      bool   // assemble purely from the store
+}
+
 func main() {
-	quick := flag.Bool("quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	parallel := flag.Int("parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
+	var cfg cliConfig
+	flag.BoolVar(&cfg.quick, "quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
+	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of tables")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result store directory (replay hits, commit misses)")
+	flag.StringVar(&cfg.shard, "shard", "", "compute only slice k/N of the cells into -cache-dir")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpcstudy [-quick] [-csv] [-parallel N] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
+			"usage: hpcstudy [-quick] [-csv] [-parallel N] [-cache-dir DIR [-shard k/N]] [merge] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	args := flag.Args()
+	if len(args) > 0 && args[0] == "merge" {
+		cfg.merge = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runStudy(os.Stdout, flag.Arg(0), *quick, *csv, *parallel); err != nil {
+	if err := runStudy(os.Stdout, args[0], cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hpcstudy: %v\n", err)
-		if _, ok := err.(unknownStudyError); ok {
+		var ue usageError
+		var se unknownStudyError
+		if errors.As(err, &ue) || errors.As(err, &se) {
 			flag.Usage()
 			os.Exit(2)
 		}
 		os.Exit(1)
 	}
 }
+
+// usageError reports CLI misuse (invalid flag value or combination);
+// main answers it with the usage text and exit code 2.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
 
 // unknownStudyError reports a study name outside the known set.
 type unknownStudyError string
@@ -63,18 +101,59 @@ func (e unknownStudyError) Error() string { return fmt.Sprintf("unknown study %q
 
 // runStudy regenerates one study (or "all") into w — the whole CLI
 // behind flag parsing, so tests can drive it directly.
-func runStudy(w io.Writer, which string, quick, csv bool, parallel int) error {
+func runStudy(w io.Writer, which string, cfg cliConfig) error {
+	if cfg.parallel < 0 {
+		return usageError(fmt.Sprintf("-parallel must be ≥ 0 (0 = all CPUs), got %d", cfg.parallel))
+	}
+	var shard containerhpc.Shard
+	if cfg.shard != "" {
+		if cfg.cacheDir == "" {
+			return usageError("-shard needs -cache-dir: shards meet in a shared result store")
+		}
+		if cfg.merge {
+			return usageError("merge assembles from the store; it cannot be sharded")
+		}
+		var err error
+		if shard, err = containerhpc.ParseShard(cfg.shard); err != nil {
+			return usageError(err.Error())
+		}
+	}
+	if cfg.merge && cfg.cacheDir == "" {
+		return usageError("merge needs -cache-dir: it assembles figures from a populated store")
+	}
+
+	stats := &containerhpc.SweepStats{}
+	opt := containerhpc.Options{Parallelism: cfg.parallel, Stats: stats}
+	if cfg.cacheDir != "" {
+		store, err := containerhpc.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		opt.Store, opt.Shard, opt.FromStore = store, shard, cfg.merge
+	}
+
 	jobs := map[string]func(io.Writer) error{
-		"fig1":        func(w io.Writer) error { return fig1(w, quick, csv, parallel) },
-		"fig2":        func(w io.Writer) error { return fig2(w, quick, csv, parallel) },
-		"fig3":        func(w io.Writer) error { return fig3(w, quick, csv, parallel) },
-		"solutions":   func(w io.Writer) error { return solutions(w, parallel) },
-		"portability": func(w io.Writer) error { return portability(w, parallel) },
-		"iostudy":     func(w io.Writer) error { return iostudy(w, parallel) },
+		"fig1":        func(w io.Writer) error { return fig1(w, opt, cfg) },
+		"fig2":        func(w io.Writer) error { return fig2(w, opt, cfg) },
+		"fig3":        func(w io.Writer) error { return fig3(w, opt, cfg) },
+		"solutions":   func(w io.Writer) error { return solutions(w, opt) },
+		"portability": func(w io.Writer) error { return portability(w, opt) },
+		"iostudy":     func(w io.Writer) error { return iostudy(w, opt) },
 	}
 	run := func(name string, f func(io.Writer) error) error {
 		start := time.Now()
-		if err := f(w); err != nil {
+		hits0, comp0 := stats.Hits.Load(), stats.Computed.Load()
+		err := f(w)
+		var miss *containerhpc.MissingCellsError
+		if err != nil && shard.Active() && errors.As(err, &miss) {
+			// A populate shard finished its slice; the rest belongs to
+			// other shards and is not a failure.
+			fmt.Fprintf(w, "%s: shard %s done: %d cells simulated, %d replayed, %d left to other shards\n\n",
+				name, shard, stats.Computed.Load()-comp0, stats.Hits.Load()-hits0, len(miss.Cells))
+			return nil
+		}
+		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(w, "  (%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -95,9 +174,8 @@ func runStudy(w io.Writer, which string, quick, csv bool, parallel int) error {
 	return run(which, f)
 }
 
-func fig1(w io.Writer, quick, csv bool, parallel int) error {
-	opt := containerhpc.Options{Parallelism: parallel}
-	if quick {
+func fig1(w io.Writer, opt containerhpc.Options, cfg cliConfig) error {
+	if cfg.quick {
 		c := containerhpc.ArteryCFDLenox()
 		c.SimSteps = 1
 		opt.Case = c
@@ -106,7 +184,7 @@ func fig1(w io.Writer, quick, csv bool, parallel int) error {
 	if err != nil {
 		return err
 	}
-	if csv {
+	if cfg.csv {
 		res.CSV(w)
 	} else {
 		res.Render(w)
@@ -114,9 +192,8 @@ func fig1(w io.Writer, quick, csv bool, parallel int) error {
 	return nil
 }
 
-func fig2(w io.Writer, quick, csv bool, parallel int) error {
-	opt := containerhpc.Options{Parallelism: parallel}
-	if quick {
+func fig2(w io.Writer, opt containerhpc.Options, cfg cliConfig) error {
+	if cfg.quick {
 		c := containerhpc.ArteryCFDCTEPower()
 		c.SimSteps = 1
 		opt.Case = c
@@ -126,7 +203,7 @@ func fig2(w io.Writer, quick, csv bool, parallel int) error {
 	if err != nil {
 		return err
 	}
-	if csv {
+	if cfg.csv {
 		res.CSV(w)
 	} else {
 		res.Render(w)
@@ -134,16 +211,15 @@ func fig2(w io.Writer, quick, csv bool, parallel int) error {
 	return nil
 }
 
-func fig3(w io.Writer, quick, csv bool, parallel int) error {
-	opt := containerhpc.Options{Parallelism: parallel}
-	if quick {
+func fig3(w io.Writer, opt containerhpc.Options, cfg cliConfig) error {
+	if cfg.quick {
 		opt.NodePoints = quickFig3Nodes
 	}
 	res, err := containerhpc.Fig3(opt)
 	if err != nil {
 		return err
 	}
-	if csv {
+	if cfg.csv {
 		res.CSV(w)
 		return nil
 	}
@@ -153,8 +229,8 @@ func fig3(w io.Writer, quick, csv bool, parallel int) error {
 	return nil
 }
 
-func solutions(w io.Writer, parallel int) error {
-	res, err := containerhpc.Solutions(containerhpc.Options{Parallelism: parallel})
+func solutions(w io.Writer, opt containerhpc.Options) error {
+	res, err := containerhpc.Solutions(opt)
 	if err != nil {
 		return err
 	}
@@ -162,8 +238,8 @@ func solutions(w io.Writer, parallel int) error {
 	return nil
 }
 
-func portability(w io.Writer, parallel int) error {
-	res, err := containerhpc.Portability(containerhpc.Options{Parallelism: parallel})
+func portability(w io.Writer, opt containerhpc.Options) error {
+	res, err := containerhpc.Portability(opt)
 	if err != nil {
 		return err
 	}
@@ -171,8 +247,8 @@ func portability(w io.Writer, parallel int) error {
 	return nil
 }
 
-func iostudy(w io.Writer, parallel int) error {
-	res, err := containerhpc.IOStudy(containerhpc.Options{Parallelism: parallel})
+func iostudy(w io.Writer, opt containerhpc.Options) error {
+	res, err := containerhpc.IOStudy(opt)
 	if err != nil {
 		return err
 	}

@@ -1,21 +1,44 @@
 package main
 
 import (
+	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// shrinkQuick trims the -quick node points to test size and restores
+// them when the test ends.
+func shrinkQuick(t *testing.T) {
+	t.Helper()
+	f2, f3 := quickFig2Nodes, quickFig3Nodes
+	quickFig2Nodes = []int{2, 4}
+	quickFig3Nodes = []int{4, 8}
+	t.Cleanup(func() { quickFig2Nodes, quickFig3Nodes = f2, f3 })
+}
+
+// stripTimings drops the per-study wall-clock footer, the only
+// non-deterministic lines of the CLI output.
+func stripTimings(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "regenerated in") || strings.Contains(line, "shard") && strings.Contains(line, "done:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
 
 // TestQuickAll smoke-tests the `hpcstudy -quick all` wiring end to
 // end: every study must regenerate and render into the stream. The
 // quick node points are trimmed further so the whole matrix stays
 // test-sized; the code path is exactly the CLI's.
 func TestQuickAll(t *testing.T) {
-	defer func(f2, f3 []int) { quickFig2Nodes, quickFig3Nodes = f2, f3 }(quickFig2Nodes, quickFig3Nodes)
-	quickFig2Nodes = []int{2, 4}
-	quickFig3Nodes = []int{4, 8}
+	shrinkQuick(t)
 
 	var sb strings.Builder
-	if err := runStudy(&sb, "all", true, false, 4); err != nil {
+	if err := runStudy(&sb, "all", cliConfig{quick: true, parallel: 4}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -36,11 +59,10 @@ func TestQuickAll(t *testing.T) {
 
 // TestQuickCSV asserts the -csv path emits machine-readable data.
 func TestQuickCSV(t *testing.T) {
-	defer func(f2 []int) { quickFig2Nodes = f2 }(quickFig2Nodes)
-	quickFig2Nodes = []int{2, 4}
+	shrinkQuick(t)
 
 	var sb strings.Builder
-	if err := runStudy(&sb, "fig2", true, true, 2); err != nil {
+	if err := runStudy(&sb, "fig2", cliConfig{quick: true, csv: true, parallel: 2}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -56,8 +78,106 @@ func TestQuickCSV(t *testing.T) {
 // dedicated error type (the CLI exits with usage for it).
 func TestUnknownStudy(t *testing.T) {
 	var sb strings.Builder
-	err := runStudy(&sb, "fig9", false, false, 1)
+	err := runStudy(&sb, "fig9", cliConfig{})
 	if _, ok := err.(unknownStudyError); !ok {
 		t.Fatalf("want unknownStudyError, got %v", err)
+	}
+}
+
+// TestNegativeParallel asserts -parallel rejects negative values with
+// a usage error instead of silently meaning "all CPUs".
+func TestNegativeParallel(t *testing.T) {
+	var sb strings.Builder
+	err := runStudy(&sb, "fig2", cliConfig{quick: true, parallel: -3})
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want usageError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "-parallel") {
+		t.Fatalf("error does not name the flag: %v", err)
+	}
+}
+
+// TestFlagCombinations asserts the store-related flag contracts:
+// -shard and merge need -cache-dir, merge cannot be sharded, and a
+// malformed shard is rejected.
+func TestFlagCombinations(t *testing.T) {
+	cases := []cliConfig{
+		{shard: "1/2"}, // -shard without -cache-dir
+		{merge: true},  // merge without -cache-dir
+		{shard: "1/2", merge: true, cacheDir: "x"}, // merge + shard
+		{shard: "three/4", cacheDir: "x"},          // malformed shard
+		{shard: "5/2", cacheDir: "x"},              // out of range
+	}
+	for _, cfg := range cases {
+		var sb strings.Builder
+		err := runStudy(&sb, "fig2", cfg)
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("cfg %+v: want usageError, got %v", cfg, err)
+		}
+	}
+}
+
+// TestCacheWarmRerun asserts the -cache-dir workflow end to end: a
+// warm rerun of a study is byte-identical to the cold run.
+func TestCacheWarmRerun(t *testing.T) {
+	shrinkQuick(t)
+	cfg := cliConfig{quick: true, parallel: 4, cacheDir: filepath.Join(t.TempDir(), "cells")}
+
+	var cold, warm strings.Builder
+	if err := runStudy(&cold, "fig3", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStudy(&warm, "fig3", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(cold.String()) != stripTimings(warm.String()) {
+		t.Fatalf("warm rerun differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s",
+			cold.String(), warm.String())
+	}
+}
+
+// TestShardMerge asserts the distributed workflow: two -shard
+// invocations populating one store, then merge, reproduce the
+// unsharded output byte-identically.
+func TestShardMerge(t *testing.T) {
+	shrinkQuick(t)
+	dir := filepath.Join(t.TempDir(), "cells")
+
+	var unsharded strings.Builder
+	if err := runStudy(&unsharded, "fig2", cliConfig{quick: true, parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shard := range []string{"1/2", "2/2"} {
+		var sb strings.Builder
+		if err := runStudy(&sb, "fig2", cliConfig{quick: true, parallel: 4, cacheDir: dir, shard: shard}); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+	}
+
+	var merged strings.Builder
+	if err := runStudy(&merged, "fig2", cliConfig{quick: true, parallel: 4, cacheDir: dir, merge: true}); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(merged.String()) != stripTimings(unsharded.String()) {
+		t.Fatalf("merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			unsharded.String(), merged.String())
+	}
+}
+
+// TestMergeMissing asserts merging from an empty store fails and
+// names the missing cells.
+func TestMergeMissing(t *testing.T) {
+	shrinkQuick(t)
+	var sb strings.Builder
+	err := runStudy(&sb, "fig2", cliConfig{quick: true, cacheDir: filepath.Join(t.TempDir(), "empty"), merge: true})
+	if err == nil {
+		t.Fatal("merge from an empty store succeeded")
+	}
+	if !strings.Contains(err.Error(), "not in the result store") ||
+		!strings.Contains(err.Error(), "fig2") {
+		t.Fatalf("error does not list missing cells: %v", err)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mesh"
 	"repro/internal/mpi"
+	"repro/internal/resultdb"
 	"repro/internal/sched"
 	"repro/internal/units"
 )
@@ -81,7 +82,28 @@ type (
 	Options = experiments.Options
 	// Mesh is a structured artery mesh.
 	Mesh = mesh.Mesh
+	// Store is a persistent, content-addressed cache of cell results.
+	Store = resultdb.Store
+	// Shard is a deterministic 1-of-N partition of a sweep's cells.
+	Shard = resultdb.Shard
+	// SweepStats counts how a sweep's cells were produced (replayed
+	// from the store vs simulated).
+	SweepStats = experiments.SweepStats
+	// MissingCellsError lists cells a sharded or merge sweep could not
+	// produce from the store.
+	MissingCellsError = experiments.MissingCellsError
 )
+
+// OpenStore opens (creating if needed) a persistent result store.
+// Attach it via Options.Store: sweeps then replay cached cells and
+// commit fresh ones, so a warm rerun of any figure is byte-identical
+// to the cold run while simulating nothing.
+func OpenStore(dir string) (*Store, error) { return resultdb.Open(dir) }
+
+// ParseShard parses the "k/N" shard notation (1 ≤ k ≤ N). Set the
+// result on Options.Shard so N cooperating invocations each compute a
+// disjoint slice of a sweep into one shared Store.
+func ParseShard(s string) (Shard, error) { return resultdb.ParseShard(s) }
 
 // NewMesh builds a uniform mesh with cubic cells of size h — the
 // building block for custom cases.

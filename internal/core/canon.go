@@ -1,0 +1,112 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// CellID is the simulation-relevant identity of a measurement: every
+// input that can change a cell's simulated output, and nothing else.
+// It deliberately names the image by its build inputs (runtime,
+// source cluster, technique) rather than by the built artifact — the
+// image is a pure function of those inputs, so the identity stays
+// cheap to compute without building anything.
+type CellID struct {
+	// Cluster is the machine the cell runs on.
+	Cluster *cluster.Cluster
+	// Runtime executes the cell; its concrete value carries the
+	// version, which is part of the identity.
+	Runtime container.Runtime
+	// Kind is the image-building technique.
+	Kind container.BuildKind
+	// ImageFrom is the cluster the image was built for when it differs
+	// from Cluster (cross-cluster portability runs); nil means Cluster.
+	ImageFrom *cluster.Cluster
+	// Case and the hybrid configuration mirror Cell.
+	Case                  alya.Case
+	Nodes, Ranks, Threads int
+	Placement             sched.Placement
+	Mode                  alya.Mode
+	Allreduce             mpi.AllreduceAlgo
+}
+
+// canonCell is the canonical wire form of a CellID. Enum fields are
+// encoded by name, not ordinal, so reordering a Go const block does
+// not silently alias old cache entries onto new meanings; the runtime
+// interface is split into its display name (the concrete type) and
+// its concrete value (the version fields).
+type canonCell struct {
+	Cluster       *cluster.Cluster
+	Runtime       string
+	RuntimeConfig interface{}
+	Kind          string
+	ImageFrom     *cluster.Cluster `json:",omitempty"`
+	Case          alya.Case
+	Nodes         int
+	Ranks         int
+	Threads       int
+	Placement     string
+	Mode          string
+	Allreduce     string
+}
+
+// Canon returns the canonical encoding of the identity: JSON with the
+// fixed field order above. Two CellIDs produce the same bytes exactly
+// when every simulation-relevant input matches.
+func (id CellID) Canon() ([]byte, error) {
+	if id.Cluster == nil || id.Runtime == nil {
+		return nil, fmt.Errorf("core: cell identity needs a cluster and a runtime")
+	}
+	return json.Marshal(canonCell{
+		Cluster:       id.Cluster,
+		Runtime:       id.Runtime.Name(),
+		RuntimeConfig: id.Runtime,
+		Kind:          id.Kind.String(),
+		ImageFrom:     id.ImageFrom,
+		Case:          id.Case,
+		Nodes:         id.Nodes,
+		Ranks:         id.Ranks,
+		Threads:       id.Threads,
+		Placement:     id.Placement.String(),
+		Mode:          id.Mode.String(),
+		Allreduce:     id.Allreduce.String(),
+	})
+}
+
+// Fingerprint returns the content address of the identity: the sha256
+// of its canonical encoding, in hex.
+func (id CellID) Fingerprint() (string, error) {
+	b, err := id.Canon()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// SavedResult is the persistable portion of a Result: the deployment
+// and execution outcomes. The Cell echo is excluded — it embeds the
+// runtime interface and model pointers, which do not round-trip
+// through JSON — and is reattached by the caller from the spec it ran.
+// Every field inside is a plain value (strings, ints, float-backed
+// units), and Go's JSON encoder emits floats in the shortest form
+// that round-trips exactly, so a saved result restores bit-identical.
+type SavedResult struct {
+	Deploy container.DeployReport
+	Exec   alya.Result
+}
+
+// Saved extracts the persistable portion of a result.
+func (r Result) Saved() SavedResult { return SavedResult{Deploy: r.Deploy, Exec: r.Exec} }
+
+// Restore reattaches a cell configuration to a saved result, yielding
+// a Result indistinguishable from one RunCell computed for that cell.
+func (s SavedResult) Restore(c Cell) Result { return Result{Cell: c, Deploy: s.Deploy, Exec: s.Exec} }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+func baseID() CellID {
+	return CellID{
+		Cluster: cluster.MareNostrum4(),
+		Runtime: container.Singularity{Version: "2.5.1"},
+		Kind:    container.SystemSpecific,
+		Case:    alya.QuickCFD(4),
+		Nodes:   2, Ranks: 96, Threads: 1,
+		Placement: sched.PlaceBlock,
+		Mode:      alya.ModeModel,
+		Allreduce: mpi.AllreduceRecursiveDoubling,
+	}
+}
+
+func fp(t *testing.T, id CellID) string {
+	t.Helper()
+	s, err := id.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFingerprintStable asserts the content address is a pure
+// function of the identity: same inputs, same hash, across fresh
+// preset constructions.
+func TestFingerprintStable(t *testing.T) {
+	a, b := fp(t, baseID()), fp(t, baseID())
+	if a != b {
+		t.Fatalf("same identity, different fingerprints: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.Trim(a, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint is not sha256 hex: %q", a)
+	}
+}
+
+// TestFingerprintSensitivity asserts every simulation-relevant input
+// perturbs the hash — the property that makes cache replay safe.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fp(t, baseID())
+	perturb := map[string]func(*CellID){
+		"cluster":         func(id *CellID) { id.Cluster = cluster.CTEPower() },
+		"cluster field":   func(id *CellID) { c := cluster.MareNostrum4(); c.RegistryRTT *= 2; id.Cluster = c },
+		"runtime":         func(id *CellID) { id.Runtime = container.Shifter{Version: "16.08.3"} },
+		"runtime version": func(id *CellID) { id.Runtime = container.Singularity{Version: "2.4.5"} },
+		"build kind":      func(id *CellID) { id.Kind = container.SelfContained },
+		"image source":    func(id *CellID) { id.ImageFrom = cluster.Lenox() },
+		"case steps":      func(id *CellID) { id.Case.SimSteps = 2 },
+		"case cg iters":   func(id *CellID) { id.Case.ModelCGIters++ },
+		"case mesh":       func(id *CellID) { id.Case.FluidMesh.NZ++ },
+		"nodes":           func(id *CellID) { id.Nodes = 4 },
+		"ranks":           func(id *CellID) { id.Ranks = 48 },
+		"threads":         func(id *CellID) { id.Threads = 2 },
+		"placement":       func(id *CellID) { id.Placement = sched.PlaceCyclic },
+		"mode":            func(id *CellID) { id.Mode = alya.ModeReal },
+		"allreduce":       func(id *CellID) { id.Allreduce = mpi.AllreduceRing },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range perturb {
+		id := baseID()
+		mutate(&id)
+		got := fp(t, id)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("perturbing %q collides with %q", name, prev)
+		}
+		seen[got] = name
+	}
+}
+
+// TestFingerprintIgnoresRuntimeInstance asserts two equal runtime
+// values hash alike even when constructed separately — the identity
+// depends on content, not instances.
+func TestFingerprintIgnoresRuntimeInstance(t *testing.T) {
+	a := baseID()
+	b := baseID()
+	b.Runtime = container.Singularity{Version: "2.5.1"}
+	if fp(t, a) != fp(t, b) {
+		t.Fatal("equal runtimes fingerprint differently")
+	}
+}
+
+// TestFingerprintRejectsIncomplete asserts an identity without a
+// cluster or runtime errors instead of hashing a nil.
+func TestFingerprintRejectsIncomplete(t *testing.T) {
+	id := baseID()
+	id.Cluster = nil
+	if _, err := id.Fingerprint(); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	id = baseID()
+	id.Runtime = nil
+	if _, err := id.Fingerprint(); err == nil {
+		t.Error("nil runtime accepted")
+	}
+}
+
+// TestSavedRestoreRoundTrip asserts Saved/Restore reattach a cell
+// without touching the outcome.
+func TestSavedRestoreRoundTrip(t *testing.T) {
+	cl := cluster.Lenox()
+	rt := container.Singularity{Version: "2.4.5"}
+	img, err := BuildImageFor(rt, cl, container.SystemSpecific)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{
+		Cluster: cl, Runtime: rt, Image: img,
+		Case:  alya.QuickCFD(2),
+		Nodes: 2, Ranks: 8, Threads: 1,
+		Placement: sched.PlaceBlock, Mode: alya.ModeModel,
+	}
+	res, err := RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := res.Saved().Restore(cell)
+	if !reflect.DeepEqual(restored, res) {
+		t.Fatal("Saved/Restore changed the result")
+	}
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/alya"
+	"repro/internal/resultdb"
+)
+
+// fig3Opt builds a small fig3 configuration against a store.
+func fig3Opt(store *resultdb.Store, stats *SweepStats) Options {
+	return Options{
+		Parallelism: 4,
+		Case:        tinyCase(alya.ArteryFSIMareNostrum4()),
+		NodePoints:  []int{4, 8},
+		Store:       store,
+		Stats:       stats,
+	}
+}
+
+// TestWarmCacheByteIdentical is the store's core guarantee: a warm
+// rerun of a figure renders byte-identically to the cold run while
+// executing zero simulations.
+func TestWarmCacheByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	cold, err := resultdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	coldStats := &SweepStats{}
+	coldRes, err := Fig3(fig3Opt(cold, coldStats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Computed.Load() == 0 || coldStats.Hits.Load() != 0 {
+		t.Fatalf("cold run: %d computed, %d hits", coldStats.Computed.Load(), coldStats.Hits.Load())
+	}
+
+	// A separate Open stands in for a later process reusing the dir.
+	warm, err := resultdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warmStats := &SweepStats{}
+	warmRes, err := Fig3(fig3Opt(warm, warmStats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warmStats.Computed.Load(); got != 0 {
+		t.Fatalf("warm run simulated %d cells, want 0", got)
+	}
+	if got := warmStats.Hits.Load(); got != 6 { // 3 variants × 2 node points
+		t.Fatalf("warm run replayed %d cells, want 6", got)
+	}
+
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatalf("warm results differ from cold:\n%+v\n%+v", coldRes, warmRes)
+	}
+	var a, b bytes.Buffer
+	coldRes.Render(&a)
+	coldRes.RenderChart(&a)
+	warmRes.Render(&b)
+	warmRes.RenderChart(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("warm rendering differs from cold:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestShardedSweepMerge is the distributed contract: every 2-way
+// shard split computes a disjoint slice, and a merge over the
+// populated store reproduces the unsharded figure exactly without
+// simulating anything.
+func TestShardedSweepMerge(t *testing.T) {
+	full, err := Fig3(fig3Opt(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	totalComputed := int64(0)
+	for k := 1; k <= 2; k++ {
+		store, err := resultdb.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := &SweepStats{}
+		opt := fig3Opt(store, stats)
+		opt.Shard = resultdb.Shard{Index: k, Count: 2}
+		_, err = Fig3(opt)
+		var miss *MissingCellsError
+		switch {
+		case err == nil:
+			// This shard owned every cell (possible on small sweeps).
+		case errors.As(err, &miss):
+			if len(miss.Cells) == 0 {
+				t.Fatalf("shard %d: empty missing list", k)
+			}
+			for _, c := range miss.Cells {
+				if c.Key == "" || c.Label == "" {
+					t.Fatalf("shard %d: missing cell without key/label: %+v", k, c)
+				}
+			}
+		default:
+			t.Fatalf("shard %d: %v", k, err)
+		}
+		totalComputed += stats.Computed.Load()
+		store.Close()
+	}
+	// Disjoint and exhaustive: the two shards together computed each
+	// of the 6 cells exactly once.
+	if totalComputed != 6 {
+		t.Fatalf("shards computed %d cells in total, want 6", totalComputed)
+	}
+
+	store, err := resultdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	stats := &SweepStats{}
+	opt := fig3Opt(store, stats)
+	opt.FromStore = true
+	merged, err := Fig3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Computed.Load(); got != 0 {
+		t.Fatalf("merge simulated %d cells, want 0", got)
+	}
+
+	var a, b bytes.Buffer
+	full.Render(&a)
+	full.RenderChart(&a)
+	merged.Render(&b)
+	merged.RenderChart(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merged rendering differs from unsharded:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestFromStoreMissing asserts a merge over an unpopulated store
+// fails with the full list of missing cell keys.
+func TestFromStoreMissing(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	opt := fig3Opt(store, nil)
+	opt.FromStore = true
+	_, err = Fig3(opt)
+	var miss *MissingCellsError
+	if !errors.As(err, &miss) {
+		t.Fatalf("want MissingCellsError, got %v", err)
+	}
+	if len(miss.Cells) != 6 {
+		t.Fatalf("missing %d cells, want all 6", len(miss.Cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range miss.Cells {
+		if len(c.Key) != 64 {
+			t.Fatalf("missing cell %q has malformed key %q", c.Label, c.Key)
+		}
+		if seen[c.Key] {
+			t.Fatalf("duplicate key %s", c.Key)
+		}
+		seen[c.Key] = true
+	}
+}
+
+// TestShardWithoutStore asserts the engine rejects shard or
+// store-only sweeps with no store to meet in.
+func TestShardWithoutStore(t *testing.T) {
+	opt := fig3Opt(nil, nil)
+	opt.Shard = resultdb.Shard{Index: 1, Count: 2}
+	if _, err := Fig3(opt); err == nil {
+		t.Error("sharded sweep without a store accepted")
+	}
+	opt = fig3Opt(nil, nil)
+	opt.FromStore = true
+	if _, err := Fig3(opt); err == nil {
+		t.Error("store-only sweep without a store accepted")
+	}
+	// The RunOne path (portability) enforces the same contract.
+	if _, err := Portability(Options{FromStore: true}); err == nil {
+		t.Error("store-only portability without a store accepted")
+	}
+}
+
+// TestPortabilityMergeMissingLists asserts a FromStore portability
+// run over an empty store reports every absent slowdown cell at once
+// — one failing merge names the full outstanding set, not just the
+// first cell hit.
+func TestPortabilityMergeMissingLists(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	_, err = Portability(Options{Parallelism: 4, Store: store, FromStore: true})
+	var miss *MissingCellsError
+	if !errors.As(err, &miss) {
+		t.Fatalf("want MissingCellsError, got %v", err)
+	}
+	// 4 bare-metal baselines (one per target) plus one cell per
+	// runnable (source, kind, target) attempt — far more than the
+	// single cell a fail-fast walk would report.
+	if len(miss.Cells) < 5 {
+		t.Fatalf("missing list has %d cells; fail-fast suspected:\n%v", len(miss.Cells), err)
+	}
+	seen := map[string]bool{}
+	for _, c := range miss.Cells {
+		if seen[c.Key] {
+			t.Fatalf("duplicate key %s in missing list", c.Key)
+		}
+		seen[c.Key] = true
+	}
+}
+
+// TestPortabilityShardedDisjoint asserts sharding covers RunOne cells
+// too: two sequential shard runs simulate each slowdown cell exactly
+// once between them, and the merge reproduces the unsharded matrix.
+func TestPortabilityShardedDisjoint(t *testing.T) {
+	plainStats := &SweepStats{}
+	plain, err := Portability(Options{Parallelism: 4, Stats: plainStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var computed int64
+	for k := 1; k <= 2; k++ {
+		store, err := resultdb.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := &SweepStats{}
+		_, err = Portability(Options{
+			Parallelism: 4, Store: store, Stats: stats,
+			Shard: resultdb.Shard{Index: k, Count: 2},
+		})
+		var miss *MissingCellsError
+		if err != nil && !errors.As(err, &miss) {
+			t.Fatalf("shard %d: %v", k, err)
+		}
+		computed += stats.Computed.Load()
+		store.Close()
+	}
+	// Disjoint: across both shards every cell simulated exactly once —
+	// the same total an unsharded run pays (the plain run may compute
+	// shared baselines more than once concurrently, so compare ≤).
+	if computed > plainStats.Computed.Load() {
+		t.Fatalf("shards computed %d cells, unsharded run computed %d — duplicated work",
+			computed, plainStats.Computed.Load())
+	}
+
+	store, err := resultdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	stats := &SweepStats{}
+	merged, err := Portability(Options{Parallelism: 4, Store: store, Stats: stats, FromStore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Computed.Load(); got != 0 {
+		t.Fatalf("merge simulated %d cells, want 0", got)
+	}
+	var a, b bytes.Buffer
+	plain.Render(&a)
+	merged.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merged portability differs from unsharded:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestPortabilityCached asserts the portability study's slowdown
+// cells flow through the store too: a warm rerun simulates nothing
+// and reproduces the matrix.
+func TestPortabilityCached(t *testing.T) {
+	dir := t.TempDir()
+	run := func() (*PortabilityResult, *SweepStats) {
+		store, err := resultdb.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		stats := &SweepStats{}
+		res, err := Portability(Options{Parallelism: 4, Store: store, Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, stats
+	}
+	cold, coldStats := run()
+	if coldStats.Computed.Load() == 0 {
+		t.Fatal("cold portability run simulated nothing")
+	}
+	warm, warmStats := run()
+	if got := warmStats.Computed.Load(); got != 0 {
+		t.Fatalf("warm portability run simulated %d cells, want 0", got)
+	}
+	var a, b bytes.Buffer
+	cold.Render(&a)
+	warm.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("warm portability differs:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

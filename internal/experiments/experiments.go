@@ -19,6 +19,7 @@ package experiments
 
 import (
 	"repro/internal/alya"
+	"repro/internal/resultdb"
 )
 
 // Options tunes an experiment's sweep without changing its structure.
@@ -35,6 +36,28 @@ type Options struct {
 	// on it — cells are independent simulations and the engine keeps
 	// deterministic order.
 	Parallelism int
+	// Store, when non-nil, caches cell results persistently: the sweep
+	// consults it before simulating and commits after. Results do not
+	// depend on it either — restored cells land in the same
+	// input-order slots a cold run fills.
+	Store *resultdb.Store
+	// Shard restricts the sweep to a deterministic 1-of-N slice of the
+	// enumerated cells, so N processes or machines populate one shared
+	// Store without coordination. Requires Store; cells outside the
+	// slice that are not already cached surface as *MissingCellsError
+	// after the owned cells commit.
+	Shard resultdb.Shard
+	// FromStore forbids simulating: every simulation cell must come
+	// from Store (the CLI's merge verb). Missing cells surface as
+	// *MissingCellsError listing their keys. Studies with no
+	// simulation cells (Solutions, IOStudy — pure deployment/storage
+	// arithmetic) compute directly and are unaffected by FromStore,
+	// Shard, and Store.
+	FromStore bool
+	// Stats, when non-nil, receives the sweep's hit/computed counters;
+	// useful to assert a warm run simulated nothing or to report cache
+	// effectiveness.
+	Stats *SweepStats
 }
 
 func (o Options) caseOr(def alya.Case) alya.Case {

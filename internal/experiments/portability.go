@@ -8,10 +8,8 @@ import (
 	"repro/internal/alya"
 	"repro/internal/cluster"
 	"repro/internal/container"
-	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/report"
-	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -77,6 +75,11 @@ func Portability(opt Options) (*PortabilityResult, error) {
 	}
 
 	out := &PortabilityResult{Cells: make([]PortabilityCell, len(attempts))}
+	// missing collects, per attempt slot, the slowdown cells a
+	// FromStore or sharded sweep could not produce; deferring them
+	// lets every attempt run, so the failure lists the complete set
+	// instead of aborting at the first absent cell.
+	missing := make([][]MissingCell, len(attempts))
 	sw := NewSweep(opt)
 	err := sw.Each(len(attempts), func(i int) error {
 		a := attempts[i]
@@ -101,9 +104,13 @@ func Portability(opt Options) (*PortabilityResult, error) {
 		default:
 			cell.Runs = true
 			cell.Why = "runs via " + profile.FabricPath
-			slow, err := portabilitySlowdown(a.target, sing, img, cs, opt.Mode)
+			slow, miss, err := portabilitySlowdown(sw, sing, a.target, a.source, a.kind, cs, opt.Mode)
 			if err != nil {
 				return fmt.Errorf("portability run %s on %s: %w", img.Kind, a.target.Name, err)
+			}
+			if len(miss) > 0 {
+				missing[i] = miss
+				break
 			}
 			cell.SlowdownVsBare = slow
 		}
@@ -113,40 +120,74 @@ func Portability(opt Options) (*PortabilityResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Aggregate deferred misses in attempt order, deduplicating the
+	// bare-metal baselines shared across attempts on one target.
+	seen := make(map[string]bool)
+	var all []MissingCell
+	for _, miss := range missing {
+		for _, c := range miss {
+			if !seen[c.Key] {
+				seen[c.Key] = true
+				all = append(all, c)
+			}
+		}
+	}
+	if len(all) > 0 {
+		return nil, &MissingCellsError{Cells: all}
+	}
 	return out, nil
 }
 
 // portabilitySlowdown measures elapsed time vs bare metal on a small
-// 2-node configuration.
-func portabilitySlowdown(cl *cluster.Cluster, rt container.Runtime, img *container.Image,
-	cs alya.Case, mode alya.Mode) (float64, error) {
+// 2-node configuration. Both cells run through the sweep engine, so a
+// result store caches them like any figure cell; the bare-metal
+// baseline is shared by every successful attempt on the same target.
+// Under FromStore — or an active shard that owns neither cell —
+// absent cells are returned as missing (both of them when both are
+// absent) rather than as an error, so the caller can report the
+// sweep's complete missing set; a later merge computes the ratio once
+// every shard has committed its slice.
+func portabilitySlowdown(sw *Sweep, sing container.Singularity, target, source *cluster.Cluster,
+	kind container.BuildKind, cs alya.Case, mode alya.Mode) (float64, []MissingCell, error) {
 
 	nodes := 2
-	ranks := nodes * cl.CoresPerNode()
-	run := func(rt container.Runtime, img *container.Image) (float64, error) {
-		res, err := core.RunCell(core.Cell{
-			Cluster: cl, Runtime: rt, Image: img, Case: cs,
+	ranks := nodes * target.CoresPerNode()
+	var missing []MissingCell
+	run := func(label string, rt container.Runtime, imageFrom *cluster.Cluster, kind container.BuildKind) (float64, error) {
+		res, err := sw.RunOne(CellSpec{
+			Label:   label,
+			Cluster: target, Runtime: rt, Kind: kind, ImageFrom: imageFrom,
+			Case:  cs,
 			Nodes: nodes, Ranks: ranks, Threads: 1,
-			Placement: sched.PlaceBlock, Mode: mode,
-			Allreduce: mpi.AllreduceRecursiveDoubling,
+			Mode: mode, Allreduce: mpi.AllreduceRecursiveDoubling,
 		})
+		var miss *MissingCellsError
+		if errors.As(err, &miss) {
+			missing = append(missing, miss.Cells...)
+			return 0, nil
+		}
 		if err != nil {
 			return 0, err
 		}
 		return float64(res.Exec.Elapsed), nil
 	}
-	bare, err := run(container.BareMetal{}, nil)
+	bare, err := run(fmt.Sprintf("portability bare-metal on %s", target.Name),
+		container.BareMetal{}, nil, container.SystemSpecific)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	cont, err := run(rt, img)
+	cont, err := run(fmt.Sprintf("portability %s/%v on %s", source.Name, kind, target.Name),
+		sing, source, kind)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+	if len(missing) > 0 {
+		return 0, missing, nil
 	}
 	if bare <= 0 {
-		return 0, fmt.Errorf("portability: zero bare-metal time")
+		return 0, nil, fmt.Errorf("portability: zero bare-metal time")
 	}
-	return cont / bare, nil
+	return cont / bare, nil, nil
 }
 
 // Find returns the cell for a build (by source cluster and kind) on a

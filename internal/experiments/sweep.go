@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/resultdb"
 	"repro/internal/sched"
 )
 
@@ -25,6 +28,9 @@ type CellSpec struct {
 	// (ignored for bare metal).
 	Runtime container.Runtime
 	Kind    container.BuildKind
+	// ImageFrom, when non-nil, builds the image for that cluster
+	// instead of Cluster — the portability study's cross-cluster runs.
+	ImageFrom *cluster.Cluster
 	// Case and the hybrid configuration mirror core.Cell.
 	Case                  alya.Case
 	Nodes, Ranks, Threads int
@@ -32,17 +38,85 @@ type CellSpec struct {
 	Allreduce             mpi.AllreduceAlgo
 }
 
+// id is the spec's content identity — everything that can change its
+// simulated output, and nothing presentation-only (the Label).
+func (sp CellSpec) id() core.CellID {
+	return core.CellID{
+		Cluster:   sp.Cluster,
+		Runtime:   sp.Runtime,
+		Kind:      sp.Kind,
+		ImageFrom: sp.ImageFrom,
+		Case:      sp.Case,
+		Nodes:     sp.Nodes,
+		Ranks:     sp.Ranks,
+		Threads:   sp.Threads,
+		Placement: sched.PlaceBlock,
+		Mode:      sp.Mode,
+		Allreduce: sp.Allreduce,
+	}
+}
+
+// Key returns the spec's content address in the result store.
+func (sp CellSpec) Key() (string, error) { return sp.id().Fingerprint() }
+
 // Sweep executes study cells on a bounded worker pool. Each cell is an
 // independent virtual-time simulation, so cells run concurrently while
 // results keep deterministic input order — parallel sweeps are
 // byte-identical to serial ones. Image builds are memoized per
 // (runtime, cluster, technique), so a sweep builds each image once
 // instead of once per cell.
+//
+// With a result store attached (Options.Store), the engine consults it
+// before simulating and commits after: a hit restores the stored
+// outcome into its input-order slot, so cached sweeps stay
+// byte-identical to cold ones while executing zero simulations. A
+// shard restriction (Options.Shard) makes the engine compute only its
+// deterministic slice of the enumerated cells, and Options.FromStore
+// forbids computing at all — both report cells they could not produce
+// through *MissingCellsError.
 type Sweep struct {
-	workers int
+	workers   int
+	store     *resultdb.Store
+	shard     resultdb.Shard
+	fromStore bool
+	stats     *SweepStats
 
 	mu     sync.Mutex
 	images map[imageKey]*imageEntry
+}
+
+// SweepStats counts how a sweep's cells were produced. The counters
+// are atomic so one value can be shared across concurrent sweeps (the
+// CLI threads one through a whole study run).
+type SweepStats struct {
+	// Hits counts cells restored from the result store.
+	Hits atomic.Int64
+	// Computed counts cells actually simulated.
+	Computed atomic.Int64
+}
+
+// MissingCell names one cell a sweep could not produce.
+type MissingCell struct {
+	// Label is the cell's display name; Key its store address.
+	Label, Key string
+}
+
+// MissingCellsError reports the cells a sharded or store-only sweep
+// did not produce: cells owned by other shards that have not reached
+// the store yet, or — under FromStore — cells never computed.
+type MissingCellsError struct {
+	Cells []MissingCell
+}
+
+// Error lists every missing cell with its key, so an operator can see
+// exactly which shards still owe results.
+func (e *MissingCellsError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "experiments: %d cells not in the result store:", len(e.Cells))
+	for _, c := range e.Cells {
+		fmt.Fprintf(&sb, "\n  %s (%s)", c.Label, c.Key)
+	}
+	return sb.String()
 }
 
 // imageKey identifies one memoized build. Runtime implementations are
@@ -62,14 +136,28 @@ type imageEntry struct {
 }
 
 // NewSweep creates an engine honouring opt.Parallelism (default:
-// runtime.NumCPU()).
+// runtime.NumCPU()) and the store/shard configuration.
 func NewSweep(opt Options) *Sweep {
 	workers := opt.Parallelism
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Sweep{workers: workers, images: make(map[imageKey]*imageEntry)}
+	stats := opt.Stats
+	if stats == nil {
+		stats = &SweepStats{}
+	}
+	return &Sweep{
+		workers:   workers,
+		store:     opt.Store,
+		shard:     opt.Shard,
+		fromStore: opt.FromStore,
+		stats:     stats,
+		images:    make(map[imageKey]*imageEntry),
+	}
 }
+
+// Stats returns the sweep's cache counters.
+func (s *Sweep) Stats() *SweepStats { return s.stats }
 
 // ImageFor returns the memoized image for (runtime, cluster,
 // technique), building it on first use. Concurrent callers share one
@@ -180,11 +268,84 @@ func (s *Sweep) workersFor(specs []CellSpec) int {
 
 // Run executes every spec and returns the results in spec order. A
 // failing cell's error is wrapped with its Label.
+//
+// With a store attached, cached cells are restored instead of
+// simulated and fresh results are committed; restores land in the
+// same input-order slots, so a warm sweep's results are deep-equal to
+// a cold sweep's. Under an active shard, only cells the shard owns
+// (plus cache hits) are produced; under FromStore nothing is
+// simulated. In both cases, any cell left unproduced makes Run return
+// a *MissingCellsError after the owned cells have been computed and
+// committed — a sharded populate run does all its work before
+// reporting what it left to the other shards.
 func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 	results := make([]core.Result, len(specs))
-	err := s.each(len(specs), s.workersFor(specs), func(i int) error {
+	if s.store == nil {
+		if s.fromStore || s.shard.Active() {
+			return nil, fmt.Errorf("experiments: sharded or store-only sweeps need a result store")
+		}
+		err := s.each(len(specs), s.workersFor(specs), func(i int) error {
+			res, err := s.runSpec(specs[i])
+			if err != nil {
+				return &CellError{Label: specs[i].Label, Err: err}
+			}
+			results[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+
+	if err := s.shard.Validate(); err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(specs))
+	for i := range specs {
+		k, err := specs[i].Key()
+		if err != nil {
+			return nil, &CellError{Label: specs[i].Label, Err: err}
+		}
+		keys[i] = k
+	}
+
+	// Consult the store first; hits restore into their input-order
+	// slots. What remains is split into cells this invocation computes
+	// and cells it must leave to other shards (or, under FromStore, to
+	// nobody).
+	var torun, missing []int
+	for i := range specs {
+		if saved, ok := s.store.Get(keys[i]); ok {
+			cell, err := s.cellFor(specs[i])
+			if err != nil {
+				return nil, &CellError{Label: specs[i].Label, Err: err}
+			}
+			results[i] = saved.Restore(cell)
+			s.stats.Hits.Add(1)
+			continue
+		}
+		switch {
+		case s.fromStore:
+			missing = append(missing, i)
+		case s.shard.Owns(keys[i]):
+			torun = append(torun, i)
+		default:
+			missing = append(missing, i)
+		}
+	}
+
+	sub := make([]CellSpec, len(torun))
+	for j, i := range torun {
+		sub[j] = specs[i]
+	}
+	err := s.each(len(torun), s.workersFor(sub), func(j int) error {
+		i := torun[j]
 		res, err := s.runSpec(specs[i])
 		if err != nil {
+			return &CellError{Label: specs[i].Label, Err: err}
+		}
+		if err := s.store.Put(keys[i], res.Saved()); err != nil {
 			return &CellError{Label: specs[i].Label, Err: err}
 		}
 		results[i] = res
@@ -193,17 +354,71 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(missing) > 0 {
+		e := &MissingCellsError{}
+		for _, i := range missing {
+			e.Cells = append(e.Cells, MissingCell{Label: specs[i].Label, Key: keys[i]})
+		}
+		return nil, e
+	}
 	return results, nil
 }
 
-// runSpec executes one cell: memoized image build, then the
-// measurement.
-func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
-	img, err := s.ImageFor(sp.Runtime, sp.Cluster, sp.Kind)
+// RunOne produces a single cell through the same store discipline as
+// Run: a hit restores; a miss simulates and commits; FromStore, or an
+// active shard that does not own the key, turns a miss into a
+// *MissingCellsError. Callers running many RunOne cells (portability)
+// collect those and report the full missing set, so N shards stay
+// disjoint on single cells exactly as they are on sweeps.
+func (s *Sweep) RunOne(sp CellSpec) (core.Result, error) {
+	if s.store == nil {
+		if s.fromStore || s.shard.Active() {
+			return core.Result{}, fmt.Errorf("experiments: sharded or store-only sweeps need a result store")
+		}
+		return s.runSpec(sp)
+	}
+	if err := s.shard.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	key, err := sp.Key()
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.RunCell(core.Cell{
+	if saved, ok := s.store.Get(key); ok {
+		cell, err := s.cellFor(sp)
+		if err != nil {
+			return core.Result{}, err
+		}
+		s.stats.Hits.Add(1)
+		return saved.Restore(cell), nil
+	}
+	if s.fromStore || !s.shard.Owns(key) {
+		return core.Result{}, &MissingCellsError{Cells: []MissingCell{{Label: sp.Label, Key: key}}}
+	}
+	res, err := s.runSpec(sp)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if err := s.store.Put(key, res.Saved()); err != nil {
+		return core.Result{}, err
+	}
+	return res, nil
+}
+
+// cellFor assembles the core.Cell a spec describes, building (or
+// fetching the memoized) image. It is shared by the compute path and
+// the cache-hit restore path, so restored results echo exactly the
+// cell a cold run would have.
+func (s *Sweep) cellFor(sp CellSpec) (core.Cell, error) {
+	src := sp.Cluster
+	if sp.ImageFrom != nil {
+		src = sp.ImageFrom
+	}
+	img, err := s.ImageFor(sp.Runtime, src, sp.Kind)
+	if err != nil {
+		return core.Cell{}, err
+	}
+	return core.Cell{
 		Cluster:   sp.Cluster,
 		Runtime:   sp.Runtime,
 		Image:     img,
@@ -214,7 +429,22 @@ func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
 		Placement: sched.PlaceBlock,
 		Mode:      sp.Mode,
 		Allreduce: sp.Allreduce,
-	})
+	}, nil
+}
+
+// runSpec executes one cell: memoized image build, then the
+// measurement.
+func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
+	cell, err := s.cellFor(sp)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := core.RunCell(cell)
+	if err != nil {
+		return core.Result{}, err
+	}
+	s.stats.Computed.Add(1)
+	return res, nil
 }
 
 // CellError annotates a cell failure with the cell's label.

@@ -1,0 +1,223 @@
+// Package resultdb is a persistent, content-addressed store for cell
+// results. Each record is one core.SavedResult keyed by the cell's
+// canonical fingerprint (core.CellID.Fingerprint), written as a single
+// JSON file under a cache directory:
+//
+//	<dir>/<key[:2]>/<key>.json
+//
+// Commits are crash-safe: a record is written to a temp file, synced,
+// and renamed into place, so a reader never observes a half-written
+// record at its final path. An append-only manifest journal
+// (<dir>/manifest.log, one key per line) indexes committed records so
+// a resumed or merging process can enumerate the store without
+// scanning; the record files remain the source of truth — a journal
+// entry whose file is missing or unreadable is simply a miss, and a
+// record committed just before a crash that lost its journal line is
+// still found on disk.
+//
+// Records carry a schema stamp. Bump SchemaVersion whenever the
+// simulator's output for a given identity changes (model constants,
+// result fields, canonical encoding): every existing record then reads
+// as a miss and is recomputed, so stale caches self-invalidate instead
+// of replaying outdated numbers.
+//
+// Multiple processes may share one directory — the sharded-sweep
+// workflow depends on it. Renames are atomic, concurrent commits of
+// the same key are idempotent (the content is a pure function of the
+// key), and manifest appends use O_APPEND single-write lines.
+package resultdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SchemaVersion stamps every record. Bump it when a simulator change
+// alters what any cell identity produces; older records then
+// self-invalidate on read.
+const SchemaVersion = 1
+
+// manifestName is the journal file inside a store directory.
+const manifestName = "manifest.log"
+
+// record is the on-disk form of one cached cell.
+type record struct {
+	// Schema is the SchemaVersion the record was written under.
+	Schema int `json:"schema"`
+	// Key echoes the content address, guarding against renamed or
+	// cross-copied files.
+	Key string `json:"key"`
+	// Result is the saved outcome.
+	Result core.SavedResult `json:"result"`
+}
+
+// Store is one cache directory.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest *os.File
+	known    map[string]bool
+}
+
+// Open creates the directory if needed, replays the manifest journal,
+// and returns the store.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultdb: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultdb: %w", err)
+	}
+	known := make(map[string]bool)
+	path := filepath.Join(dir, manifestName)
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if key := strings.TrimSpace(sc.Text()); key != "" {
+				known[key] = true
+			}
+		}
+		// A torn final line (crash mid-append) is dropped by the key
+		// check in Get; scanner errors mean a damaged journal, which
+		// the record files recover from.
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("resultdb: manifest: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("resultdb: %w", err)
+	}
+	manifest, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultdb: %w", err)
+	}
+	return &Store{dir: dir, manifest: manifest, known: known}, nil
+}
+
+// Close releases the manifest journal. Records already committed stay
+// readable by future Opens.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil {
+		return nil
+	}
+	err := s.manifest.Close()
+	s.manifest = nil
+	return err
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// recordPath places a record under a two-hex-character fan-out
+// directory, keeping any single directory small on big sweeps.
+func (s *Store) recordPath(key string) string {
+	prefix := key
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(s.dir, prefix, key+".json")
+}
+
+// Get returns the saved result for a key. Every failure mode — no
+// record, truncated or corrupt JSON, schema mismatch, key mismatch —
+// reads as a miss, so a damaged entry costs one recomputation, never
+// a failed sweep.
+func (s *Store) Get(key string) (core.SavedResult, bool) {
+	data, err := os.ReadFile(s.recordPath(key))
+	if err != nil {
+		return core.SavedResult{}, false
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return core.SavedResult{}, false
+	}
+	if rec.Schema != SchemaVersion || rec.Key != key {
+		return core.SavedResult{}, false
+	}
+	s.mu.Lock()
+	s.known[key] = true // reconcile: found on disk but absent from our journal view
+	s.mu.Unlock()
+	return rec.Result, true
+}
+
+// Put commits a result under a key: temp file, sync, atomic rename,
+// then a journal append. A concurrent Put of the same key from another
+// process is harmless — both renames install identical content.
+func (s *Store) Put(key string, res core.SavedResult) error {
+	if key == "" {
+		return fmt.Errorf("resultdb: empty key")
+	}
+	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("resultdb: %w", err)
+	}
+	path := s.recordPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultdb: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "commit-*")
+	if err != nil {
+		return fmt.Errorf("resultdb: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultdb: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultdb: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultdb: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resultdb: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.known[key] {
+		return nil // already journaled (recommit after schema bump, or racing writer)
+	}
+	if s.manifest != nil {
+		if _, err := s.manifest.WriteString(key + "\n"); err != nil {
+			return fmt.Errorf("resultdb: manifest: %w", err)
+		}
+	}
+	s.known[key] = true
+	return nil
+}
+
+// Keys returns every key this store knows of, sorted: the journal
+// replayed at Open plus everything committed or observed since. Keys
+// are advisory — a listed record may still read as a miss if its file
+// was damaged.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.known))
+	for k := range s.known {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of known keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.known)
+}

@@ -1,0 +1,364 @@
+package resultdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/alya"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// sample builds a distinctive SavedResult without running a
+// simulation; i differentiates records.
+func sample(i int) core.SavedResult {
+	return core.SavedResult{
+		Deploy: container.DeployReport{
+			Runtime: "Singularity", Image: "bsc/alya:v2.0", Nodes: i,
+			WireSize: units.ByteSize(700+i) * units.MiB, PullTime: units.Seconds(i) * 1.25,
+		},
+		Exec: alya.Result{
+			Case: "quick-cfd", Runtime: "Singularity", FabricPath: "omni-path",
+			Nodes: i, Ranks: 48 * i, Threads: 1,
+			TimePerStep: 0.375 * units.Seconds(i+1), Elapsed: 16.875 * units.Seconds(i+1),
+			MPI: mpi.Stats{TotalMessages: 100 * i, RankEnd: []units.Seconds{1.5, 2.25}},
+		},
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("%064x", i) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	want := sample(1)
+	if err := s.Put(key(1), want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok {
+		t.Fatal("committed record missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the result:\nput %+v\ngot %+v", want, got)
+	}
+
+	// Floats must restore bit-identical, not approximately.
+	if got.Exec.TimePerStep != want.Exec.TimePerStep || got.Deploy.PullTime != want.Deploy.PullTime {
+		t.Fatal("float fields not bit-identical after round trip")
+	}
+}
+
+func TestCorruptRecordIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(key(2), sample(2)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.recordPath(key(2))
+
+	// Truncated mid-record (crash during a non-atomic copy of the dir).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("truncated record returned a hit")
+	}
+
+	// Outright garbage.
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("garbage record returned a hit")
+	}
+
+	// Recomputation overwrites the damage.
+	if err := s.Put(key(2), sample(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(2)); !ok {
+		t.Fatal("recommit after corruption missed")
+	}
+}
+
+func TestSchemaStampInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(key(3), sample(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the record as a future (or past) simulator would have:
+	// same key, different schema stamp.
+	path := s.recordPath(key(3))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Schema = SchemaVersion + 1
+	stale, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(3)); ok {
+		t.Fatal("record with a foreign schema stamp returned a hit")
+	}
+}
+
+func TestKeyMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(key(4), sample(4)); err != nil {
+		t.Fatal(err)
+	}
+	// A record copied to the wrong address (cross-populated cache dirs)
+	// must not masquerade as another cell.
+	src := s.recordPath(key(4))
+	dst := s.recordPath(key(5))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(5)); ok {
+		t.Fatal("record stored under a foreign key returned a hit")
+	}
+}
+
+func TestManifestResume(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(10+i), sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Open replays the journal.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 5 {
+		t.Fatalf("resumed store knows %d keys, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Get(key(10 + i))
+		if !ok {
+			t.Fatalf("resumed store missed key %d", i)
+		}
+		if !reflect.DeepEqual(got, sample(i)) {
+			t.Fatalf("resumed record %d differs", i)
+		}
+	}
+
+	// A journaled record whose file vanished is a miss, not a failure.
+	if err := os.Remove(s2.recordPath(key(10))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key(10)); ok {
+		t.Fatal("deleted record returned a hit")
+	}
+}
+
+// TestRecordWithoutJournalLine simulates a crash between the rename
+// and the journal append: the record is on disk, the manifest never
+// heard of it. Get must still find it (the files are the source of
+// truth) and reconcile the index.
+func TestRecordWithoutJournalLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(7), sample(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 0 {
+		t.Fatalf("journal gone but store knows %d keys", got)
+	}
+	if _, ok := s2.Get(key(7)); !ok {
+		t.Fatal("on-disk record not found without its journal line")
+	}
+	if got := s2.Len(); got != 1 {
+		t.Fatalf("reconciled index has %d keys, want 1", got)
+	}
+}
+
+// TestConcurrentWriters exercises the sharded-sweep contract: several
+// stores (standing in for processes) commit into one directory
+// concurrently, with overlapping keys, and every record stays intact.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	const writers, keys = 4, 32
+
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			s, err := Open(dir)
+			if err != nil {
+				errs[wtr] = err
+				return
+			}
+			defer s.Close()
+			// Each writer commits every key: maximal overlap. Content
+			// is a pure function of the key, as in a real sweep.
+			for i := 0; i < keys; i++ {
+				if err := s.Put(key(i), sample(i)); err != nil {
+					errs[wtr] = err
+					return
+				}
+			}
+		}(wtr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != keys {
+		t.Fatalf("store knows %d keys after concurrent writes, want %d", got, keys)
+	}
+	for i := 0; i < keys; i++ {
+		got, ok := s.Get(key(i))
+		if !ok {
+			t.Fatalf("key %d missed after concurrent writes", i)
+		}
+		if !reflect.DeepEqual(got, sample(i)) {
+			t.Fatalf("key %d corrupted by concurrent writes", i)
+		}
+	}
+}
+
+func TestShardParse(t *testing.T) {
+	good := map[string]Shard{
+		"1/1": {1, 1},
+		"1/2": {1, 2},
+		"2/2": {2, 2},
+		"7/9": {7, 9},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "1", "1/", "/2", "0/2", "3/2", "a/b", "1/2/3", "-1/2", "2/1", "1/0", "1/-2", "0/0"} {
+		if _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted", in)
+		}
+	}
+	// The zero value means "no sharding" and must stay valid; any other
+	// inconsistent combination must not slip through Validate either.
+	if err := (Shard{}).Validate(); err != nil {
+		t.Errorf("zero shard rejected: %v", err)
+	}
+	for _, sh := range []Shard{{2, 1}, {1, 0}, {0, 1}, {1, -2}, {-1, -1}} {
+		if err := sh.Validate(); err == nil {
+			t.Errorf("Shard%v validated", sh)
+		}
+	}
+}
+
+// TestShardPartition is the sharding invariant: every key belongs to
+// exactly one of the N shards, so cooperating processes compute
+// disjoint, exhaustive slices.
+func TestShardPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		counts := make([]int, n)
+		for i := 0; i < 500; i++ {
+			k := key(i * 7919)
+			owners := 0
+			for idx := 1; idx <= n; idx++ {
+				if (Shard{Index: idx, Count: n}).Owns(k) {
+					owners++
+					counts[idx-1]++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("key %q owned by %d of %d shards", k, owners, n)
+			}
+		}
+		// Distribution sanity: no shard starves on a large key set.
+		for idx, c := range counts {
+			if c == 0 {
+				t.Errorf("shard %d/%d owns no keys out of 500", idx+1, n)
+			}
+		}
+	}
+	// The zero shard owns everything.
+	if !(Shard{}).Owns(key(1)) {
+		t.Error("zero shard does not own keys")
+	}
+}

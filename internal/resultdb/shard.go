@@ -1,0 +1,76 @@
+package resultdb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Shard is a deterministic 1-of-N partition of the key space, the unit
+// of distributing one sweep across processes or machines: N invocations
+// with shards 1/N .. N/N each compute a disjoint slice of the
+// enumerated cells into a shared store, and a merge assembles the
+// whole figure from it. The zero value (and any Count ≤ 1) owns every
+// key.
+type Shard struct {
+	// Index is 1-based: 1 ≤ Index ≤ Count.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// ParseShard parses the CLI form "k/N".
+func ParseShard(s string) (Shard, error) {
+	k, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("resultdb: shard %q is not of the form k/N", s)
+	}
+	idx, err1 := strconv.Atoi(k)
+	cnt, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("resultdb: shard %q is not of the form k/N", s)
+	}
+	sh := Shard{Index: idx, Count: cnt}
+	// The zero value means "no sharding" only programmatically; the
+	// explicit string form must name a real slice.
+	if sh == (Shard{}) {
+		return Shard{}, fmt.Errorf("resultdb: shard %q out of range", s)
+	}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate rejects out-of-range shards. Only the zero value (no
+// sharding) and 1 ≤ Index ≤ Count pass: a typo like "2/1" must error,
+// not silently behave as an unsharded full sweep.
+func (sh Shard) Validate() error {
+	if sh == (Shard{}) {
+		return nil
+	}
+	if sh.Count < 1 || sh.Index < 1 || sh.Index > sh.Count {
+		return fmt.Errorf("resultdb: shard %d/%d out of range", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+// Active reports whether the shard restricts anything.
+func (sh Shard) Active() bool { return sh.Count > 1 }
+
+// String renders the CLI form.
+func (sh Shard) String() string { return fmt.Sprintf("%d/%d", sh.Index, sh.Count) }
+
+// Owns reports whether a key falls in this shard's slice: a modulo
+// partition of a 64-bit hash of the key, so any set of keys splits
+// near-evenly and every process agrees on the assignment with no
+// coordination.
+func (sh Shard) Owns(key string) bool {
+	if !sh.Active() {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()%uint64(sh.Count) == uint64(sh.Index-1)
+}
