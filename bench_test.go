@@ -306,6 +306,10 @@ func BenchmarkMPIAllreduceScaling(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(float64(st.End/10)*1e6, "sim_µs/allreduce")
+				// Wall cost of the simulation itself is dominated by
+				// kernel context switches; reporting them makes the
+				// scheduling hot path diffable across commits.
+				b.ReportMetric(float64(st.Kernel.Switches)/10, "switches/allreduce")
 			}
 		})
 	}

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a stable JSON artifact on stdout — the per-commit perf record
+// the CI bench job uploads as BENCH_<sha>.json. Each benchmark maps to
+// its wall cost (ns/op) plus every custom metric the benchmark
+// reported (sim_s/step, ns/switch, speedup, ...), so the artifact
+// doubles as a summary of the reproduction's simulated headline
+// numbers alongside the harness's own performance trajectory.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_$(git rev-parse HEAD).json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark identifier including the GOMAXPROCS
+	// suffix, e.g. "BenchmarkPingPongSync-8".
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in.
+	Pkg string `json:"pkg"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall cost per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every additional "value unit" pair the benchmark
+	// reported, keyed by unit (e.g. "sim_s/step", "ns/switch").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the artifact's top-level shape.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses bench output from r and writes the JSON report to w.
+func run(r io.Reader, w io.Writer) error {
+	rep, err := parse(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parse walks the bench output line by line: "pkg:" headers set the
+// current package, "Benchmark..." result lines append entries, and
+// everything else (goos/goarch headers, PASS/ok trailers, test logs)
+// is ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok, err := parseResultLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		if ok {
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResultLine parses "BenchmarkX-8  100  123 ns/op  4.5 unit ..."
+// into a Benchmark. Lines without an iteration count (a benchmark name
+// echoed alone, e.g. when it failed) report ok=false.
+func parseResultLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // "BenchmarkX" alone or a log line
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The rest are "value unit" pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("odd value/unit pairing")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		val, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("value %q: %w", rest[i], err)
+		}
+		unit := rest[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = val
+	}
+	return b, true, nil
+}

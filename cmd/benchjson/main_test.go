@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleOutput is a trimmed, representative `go test -bench` stream:
+// two packages, custom metrics, a sub-benchmark, and trailer noise.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkFig1Lenox-8                   	       1	47307636 ns/op	        12.35 docker_overhead_pct
+BenchmarkAblationPlacement/block-8     	       2	 5010203 ns/op	         0.375 sim_s/step
+PASS
+ok  	repro	12.345s
+pkg: repro/internal/vtime
+BenchmarkPingPongSync-8                	  300000	       441.0 ns/op	       220.5 ns/switch
+ok  	repro/internal/vtime	0.5s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3:\n%s", len(rep.Benchmarks), sb.String())
+	}
+
+	fig1 := rep.Benchmarks[0]
+	if fig1.Name != "BenchmarkFig1Lenox-8" || fig1.Pkg != "repro" {
+		t.Fatalf("first benchmark misparsed: %+v", fig1)
+	}
+	if fig1.Iterations != 1 || fig1.NsPerOp != 47307636 {
+		t.Fatalf("fig1 numbers misparsed: %+v", fig1)
+	}
+	if fig1.Metrics["docker_overhead_pct"] != 12.35 {
+		t.Fatalf("fig1 custom metric lost: %+v", fig1.Metrics)
+	}
+
+	sub := rep.Benchmarks[1]
+	if sub.Name != "BenchmarkAblationPlacement/block-8" || sub.Metrics["sim_s/step"] != 0.375 {
+		t.Fatalf("sub-benchmark misparsed: %+v", sub)
+	}
+
+	pp := rep.Benchmarks[2]
+	if pp.Pkg != "repro/internal/vtime" {
+		t.Fatalf("package header not tracked across packages: %+v", pp)
+	}
+	if pp.NsPerOp != 441.0 || pp.Metrics["ns/switch"] != 220.5 {
+		t.Fatalf("vtime metrics misparsed: %+v", pp)
+	}
+}
+
+func TestParseEmptyAndNoise(t *testing.T) {
+	var sb strings.Builder
+	noise := "PASS\nok  \trepro\t1.0s\nBenchmarkBroken\n--- FAIL: TestX\n"
+	if err := run(strings.NewReader(noise), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+	if !strings.Contains(sb.String(), `"benchmarks": []`) {
+		t.Fatalf("empty report must keep an empty array, got:\n%s", sb.String())
+	}
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hpcstudy [-quick] [-csv] [-parallel N] [-cache-dir DIR [-shard k/N]] <study>
+//	hpcstudy [-quick] [-csv] [-v] [-parallel N] [-cache-dir DIR [-shard k/N]] <study>
 //	hpcstudy -cache-dir DIR [flags] merge <study>
 //
 // where <study> is fig1|fig2|fig3|solutions|portability|iostudy|all.
@@ -22,6 +22,13 @@
 // populate one shared store without coordination; the merge verb then
 // assembles the complete figure purely from the store, failing with
 // the list of missing cell keys if any shard has not finished.
+//
+// -v appends per-study observability lines: how cells were produced
+// (simulated, replayed, failures replayed) and the vtime kernel's
+// scheduling counters (switches, ping-pong fast-slot hits, Sync
+// fast-path hits, heap operations, wakes), so scheduling-path perf
+// regressions show up in CI logs instead of silently inflating wall
+// time.
 package main
 
 import (
@@ -48,6 +55,7 @@ var (
 // cliConfig carries every flag behind the study argument.
 type cliConfig struct {
 	quick, csv bool
+	verbose    bool // -v: per-study cache and kernel counters
 	parallel   int
 	cacheDir   string
 	shard      string // "k/N", empty = no sharding
@@ -58,12 +66,13 @@ func main() {
 	var cfg cliConfig
 	flag.BoolVar(&cfg.quick, "quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of tables")
+	flag.BoolVar(&cfg.verbose, "v", false, "report per-study cache and vtime kernel counters")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result store directory (replay hits, commit misses)")
 	flag.StringVar(&cfg.shard, "shard", "", "compute only slice k/N of the cells into -cache-dir")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpcstudy [-quick] [-csv] [-parallel N] [-cache-dir DIR [-shard k/N]] [merge] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
+			"usage: hpcstudy [-quick] [-csv] [-v] [-parallel N] [-cache-dir DIR [-shard k/N]] [merge] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -143,7 +152,18 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 	}
 	run := func(name string, f func(io.Writer) error) error {
 		start := time.Now()
-		hits0, comp0 := stats.Hits.Load(), stats.Computed.Load()
+		hits0, comp0, neg0 := stats.Hits.Load(), stats.Computed.Load(), stats.NegHits.Load()
+		kern0 := stats.Kernel()
+		verbose := func() {
+			if !cfg.verbose {
+				return
+			}
+			k := stats.Kernel().Sub(kern0)
+			fmt.Fprintf(w, "  %s cells: %d simulated, %d replayed, %d failures replayed\n",
+				name, stats.Computed.Load()-comp0, stats.Hits.Load()-hits0, stats.NegHits.Load()-neg0)
+			fmt.Fprintf(w, "  %s kernel: %d switches (%d ping-pong), %d sync fast-path, %d heap ops, %d wakes (%d batched flushes)\n",
+				name, k.Switches, k.PingPong, k.SyncFast, k.HeapOps, k.Wakes, k.WakeBatches)
+		}
 		err := f(w)
 		var miss *containerhpc.MissingCellsError
 		if err != nil && shard.Active() && errors.As(err, &miss) {
@@ -151,11 +171,13 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 			// other shards and is not a failure.
 			fmt.Fprintf(w, "%s: shard %s done: %d cells simulated, %d replayed, %d left to other shards\n\n",
 				name, shard, stats.Computed.Load()-comp0, stats.Hits.Load()-hits0, len(miss.Cells))
+			verbose()
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		verbose()
 		fmt.Fprintf(w, "  (%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
 	}

@@ -181,3 +181,31 @@ func TestMergeMissing(t *testing.T) {
 		t.Fatalf("error does not list missing cells: %v", err)
 	}
 }
+
+// TestVerboseKernelCounters asserts -v surfaces the cache and vtime
+// kernel counters per study, and that the default output stays free of
+// them (the golden-comparison tests depend on that).
+func TestVerboseKernelCounters(t *testing.T) {
+	shrinkQuick(t)
+
+	var quiet, verbose strings.Builder
+	if err := runStudy(&quiet, "fig2", cliConfig{quick: true, parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quiet.String(), "kernel:") {
+		t.Fatal("default output leaks kernel counters")
+	}
+	if err := runStudy(&verbose, "fig2", cliConfig{quick: true, parallel: 2, verbose: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := verbose.String()
+	for _, want := range []string{"fig2 cells:", "simulated", "fig2 kernel:", "switches", "heap ops"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-v output missing %q:\n%s", want, out)
+		}
+	}
+	// A cold fig2 simulates cells, so the kernel counters must be live.
+	if strings.Contains(out, "kernel: 0 switches") {
+		t.Fatalf("-v reports zero switches after a cold sweep:\n%s", out)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/resultdb"
 	"repro/internal/sched"
 	"repro/internal/units"
+	"repro/internal/vtime"
 )
 
 // Re-exported model types. The aliases give external users the full
@@ -87,12 +88,25 @@ type (
 	// Shard is a deterministic 1-of-N partition of a sweep's cells.
 	Shard = resultdb.Shard
 	// SweepStats counts how a sweep's cells were produced (replayed
-	// from the store vs simulated).
+	// from the store vs simulated) and aggregates the kernel counters
+	// over the simulated ones.
 	SweepStats = experiments.SweepStats
 	// MissingCellsError lists cells a sharded or merge sweep could not
 	// produce from the store.
 	MissingCellsError = experiments.MissingCellsError
+	// KernelCounters reports the vtime scheduler's hot-path counters
+	// (switches, fast-path hits, heap operations, wakes).
+	KernelCounters = vtime.Counters
+	// RecordedError is a failure replayed from the result store's
+	// negative cache instead of re-simulating a known-bad cell.
+	RecordedError = resultdb.RecordedError
 )
+
+// ModelChecksum fingerprints the simulator's model constants (cluster,
+// fabric, container, and workload tables). The result store folds it
+// into every record's schema stamp, so cached results self-invalidate
+// whenever a model number changes.
+func ModelChecksum() string { return core.ModelChecksum() }
 
 // OpenStore opens (creating if needed) a persistent result store.
 // Attach it via Options.Store: sweeps then replay cached cells and

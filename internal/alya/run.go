@@ -215,8 +215,10 @@ func Run(spec Spec) (Result, error) {
 }
 
 // runState carries cross-rank result channels. All fields written by
-// rank bodies are written under the sequential vtime scheduler, so no
-// locking is needed; rank 0 owns the scalar outcomes.
+// rank bodies are written under the vtime kernel's single-running-proc
+// invariant — the direct handoff chain orders every write before the
+// next rank observes it — so no locking is needed; rank 0 owns the
+// scalar outcomes.
 type runState struct {
 	spec      Spec
 	model     omp.Model

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/navier"
+	"repro/internal/omp"
+	"repro/internal/solid"
+)
+
+// ModelChecksum fingerprints the simulator's model constants: the
+// cluster tables (which embed the fabric transports and storage
+// models), the container runtimes' build/deploy/execution profiles,
+// the paper's workload cases, the solver per-cell cost constants, and
+// the OpenMP models. Any change to a number that can alter simulated
+// output changes the checksum, so persisted results stamped with it
+// self-invalidate instead of replaying outdated figures.
+func ModelChecksum() string {
+	modelChecksumOnce.Do(func() {
+		sig, err := modelSignature(cluster.All())
+		if err != nil {
+			// The tables are static data assembled in code; failing to
+			// marshal them is a programming error, not a runtime state.
+			panic(fmt.Sprintf("core: model signature: %v", err))
+		}
+		modelChecksum = checksumOf(sig)
+	})
+	return modelChecksum
+}
+
+var (
+	modelChecksumOnce sync.Once
+	modelChecksum     string
+)
+
+// checksumOf hashes the canonical JSON encoding of a signature.
+func checksumOf(sig []byte) string {
+	sum := sha256.Sum256(sig)
+	return hex.EncodeToString(sum[:])
+}
+
+// modelSignature assembles every model table reachable as data for the
+// given clusters. Behaviour encoded as arithmetic (deploy breakdowns,
+// execution profiles, image builds) is captured through representative
+// evaluations per runtime × cluster × technique, so editing a cost
+// constant inside any runtime model changes the signature even though
+// the constant itself is not exported.
+func modelSignature(clusters []*cluster.Cluster) ([]byte, error) {
+	type runtimeCell struct {
+		Cluster   string
+		Technique string
+		// Available is the availability verdict ("" = runnable).
+		Available string
+		// Image, Deploy, Exec capture the runtime's cost tables as
+		// evaluated data. Omitted where the runtime is unavailable.
+		Image  *container.Image        `json:",omitempty"`
+		Deploy *container.DeployReport `json:",omitempty"`
+		Exec   *container.ExecProfile  `json:",omitempty"`
+	}
+	type runtimeSig struct {
+		Name   string
+		Config container.Runtime
+		Cells  []runtimeCell
+	}
+	sig := struct {
+		Clusters []*cluster.Cluster
+		Runtimes []runtimeSig
+		Cases    []alya.Case
+		Solver   map[string]float64
+		OMP      []omp.Model
+	}{
+		Clusters: clusters,
+		Cases: []alya.Case{
+			alya.ArteryCFDLenox(),
+			alya.ArteryCFDCTEPower(),
+			alya.ArteryFSIMareNostrum4(),
+			alya.QuickCFD(1),
+			alya.QuickFSI(1),
+		},
+		Solver: map[string]float64{
+			"navier.AssemblyFlopsPerCell":   navier.AssemblyFlopsPerCell,
+			"navier.AssemblyBytesPerCell":   navier.AssemblyBytesPerCell,
+			"navier.CGIterFlopsPerCell":     navier.CGIterFlopsPerCell,
+			"navier.CGIterBytesPerCell":     navier.CGIterBytesPerCell,
+			"navier.ProjectionFlopsPerCell": navier.ProjectionFlopsPerCell,
+			"navier.ProjectionBytesPerCell": navier.ProjectionBytesPerCell,
+			"solid.StepFlopsPerCell":        solid.StepFlopsPerCell,
+			"solid.StepBytesPerCell":        solid.StepBytesPerCell,
+		},
+	}
+	for _, cl := range clusters {
+		sig.OMP = append(sig.OMP, omp.DefaultModel(cl.Node))
+	}
+	for _, rt := range container.Runtimes() {
+		rs := runtimeSig{Name: rt.Name(), Config: rt}
+		for _, cl := range clusters {
+			for _, kind := range []container.BuildKind{container.SystemSpecific, container.SelfContained} {
+				cell := runtimeCell{Cluster: cl.Name, Technique: kind.String()}
+				if err := rt.Available(cl); err != nil {
+					cell.Available = err.Error()
+					rs.Cells = append(rs.Cells, cell)
+					continue
+				}
+				img, err := BuildImageFor(rt, cl, kind)
+				if err != nil {
+					return nil, err
+				}
+				dep, err := rt.Deploy(cl, img, 2)
+				if err != nil {
+					return nil, err
+				}
+				exec, err := rt.ExecProfile(cl, img)
+				if err != nil {
+					return nil, err
+				}
+				cell.Image, cell.Deploy, cell.Exec = img, &dep, &exec
+				rs.Cells = append(rs.Cells, cell)
+			}
+		}
+		sig.Runtimes = append(sig.Runtimes, rs)
+	}
+	return json.Marshal(sig)
+}

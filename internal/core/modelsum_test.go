@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+func TestModelChecksumStable(t *testing.T) {
+	a, b := ModelChecksum(), ModelChecksum()
+	if a != b {
+		t.Fatalf("checksum unstable: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("checksum %q is not a sha256 hex digest", a)
+	}
+	sig, err := modelSignature(cluster.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checksumOf(sig); got != a {
+		t.Fatalf("memoized checksum %s diverges from a fresh signature %s", a, got)
+	}
+}
+
+// TestModelChecksumFlipsOnConstantChange is the self-invalidation
+// contract: mutating any simulator model constant must change the
+// checksum, so result records stamped with it read as misses.
+func TestModelChecksumFlipsOnConstantChange(t *testing.T) {
+	base, err := modelSignature(cluster.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSum := checksumOf(base)
+
+	mutations := []struct {
+		name   string
+		mutate func(cs []*cluster.Cluster)
+	}{
+		{"fabric latency", func(cs []*cluster.Cluster) {
+			cs[0].Interconnect.Native.Latency += units.Microsecond
+		}},
+		{"fabric bandwidth", func(cs []*cluster.Cluster) {
+			cs[1].Interconnect.TCPFallback.Bandwidth *= 2
+		}},
+		{"cluster size", func(cs []*cluster.Cluster) {
+			cs[2].TotalNodes++
+		}},
+		{"registry uplink", func(cs []*cluster.Cluster) {
+			cs[3].RegistryRTT += units.Millisecond
+		}},
+		{"host ABI", func(cs []*cluster.Cluster) {
+			cs[0].HostABI += "-patched"
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			// Constructors return fresh values, so mutating one set
+			// cannot leak into other subtests or the memoized checksum.
+			mutated := cluster.All()
+			m.mutate(mutated)
+			sig, err := modelSignature(mutated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if checksumOf(sig) == baseSum {
+				t.Fatalf("checksum did not change after mutating %s", m.name)
+			}
+		})
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
 	"repro/internal/resultdb"
 )
 
@@ -312,5 +314,91 @@ func TestPortabilityCached(t *testing.T) {
 	warm.Render(&b)
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatalf("warm portability differs:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestNegativeCacheReplaysFailures covers failure records end to end:
+// a deterministically failing cell is recorded on the cold run, and
+// warm sweeps replay the failure — with the exact same message —
+// without simulating, distinctly from missing cells under FromStore.
+func TestNegativeCacheReplaysFailures(t *testing.T) {
+	mn4 := cluster.MareNostrum4()
+	specs := []CellSpec{{
+		Label:   "docker on mn4",
+		Cluster: mn4, Runtime: container.Docker{}, Kind: container.SystemSpecific,
+		Case:  reducedLenox(),
+		Nodes: 2, Ranks: 2 * mn4.CoresPerNode(), Threads: 1,
+	}}
+	dir := t.TempDir()
+
+	run := func(fromStore bool) (error, *SweepStats) {
+		store, err := resultdb.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		stats := &SweepStats{}
+		_, err = NewSweep(Options{Store: store, Stats: stats, FromStore: fromStore}).Run(specs)
+		return err, stats
+	}
+
+	coldErr, coldStats := run(false)
+	if coldErr == nil {
+		t.Fatal("docker on MN4 should fail (needs root)")
+	}
+	if !errors.Is(coldErr, container.ErrNeedsRoot) {
+		t.Fatalf("cold failure lost its cause: %v", coldErr)
+	}
+	if got := coldStats.NegHits.Load(); got != 0 {
+		t.Fatalf("cold run replayed %d failures", got)
+	}
+
+	warmErr, warmStats := run(false)
+	if warmErr == nil {
+		t.Fatal("replayed failure missing")
+	}
+	if warmStats.Computed.Load() != 0 || warmStats.NegHits.Load() != 1 {
+		t.Fatalf("warm run computed %d, neg-hit %d; want 0 and 1",
+			warmStats.Computed.Load(), warmStats.NegHits.Load())
+	}
+	if warmErr.Error() != coldErr.Error() {
+		t.Fatalf("replayed failure differs from original:\ncold %v\nwarm %v", coldErr, warmErr)
+	}
+	var rec *resultdb.RecordedError
+	if !errors.As(warmErr, &rec) || rec.Msg == "" {
+		t.Fatalf("warm failure is not a RecordedError: %v", warmErr)
+	}
+	if errors.As(coldErr, &rec) {
+		t.Fatal("cold failure mislabelled as replayed")
+	}
+
+	// Merge (FromStore) reports the known-bad cell as its recorded
+	// failure, not as a missing cell.
+	mergeErr, mergeStats := run(true)
+	var miss *MissingCellsError
+	if errors.As(mergeErr, &miss) {
+		t.Fatalf("merge reported a recorded failure as missing: %v", mergeErr)
+	}
+	if !errors.As(mergeErr, &rec) {
+		t.Fatalf("merge did not replay the recorded failure: %v", mergeErr)
+	}
+	if got := mergeStats.NegHits.Load(); got != 1 {
+		t.Fatalf("merge neg-hit %d, want 1", got)
+	}
+
+	// The RunOne path (portability's cells) replays too.
+	store, err := resultdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	stats := &SweepStats{}
+	_, oneErr := NewSweep(Options{Store: store, Stats: stats}).RunOne(specs[0])
+	if !errors.As(oneErr, &rec) {
+		t.Fatalf("RunOne did not replay the recorded failure: %v", oneErr)
+	}
+	if stats.Computed.Load() != 0 || stats.NegHits.Load() != 1 {
+		t.Fatalf("RunOne computed %d, neg-hit %d; want 0 and 1",
+			stats.Computed.Load(), stats.NegHits.Load())
 	}
 }

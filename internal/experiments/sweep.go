@@ -14,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/resultdb"
 	"repro/internal/sched"
+	"repro/internal/vtime"
 )
 
 // CellSpec is one unit of work in a sweep: where a measurement runs,
@@ -85,14 +86,49 @@ type Sweep struct {
 	images map[imageKey]*imageEntry
 }
 
-// SweepStats counts how a sweep's cells were produced. The counters
-// are atomic so one value can be shared across concurrent sweeps (the
-// CLI threads one through a whole study run).
+// SweepStats counts how a sweep's cells were produced and aggregates
+// the vtime kernel's scheduling counters over the simulated ones. The
+// counters are atomic so one value can be shared across concurrent
+// sweeps (the CLI threads one through a whole study run).
 type SweepStats struct {
 	// Hits counts cells restored from the result store.
 	Hits atomic.Int64
 	// Computed counts cells actually simulated.
 	Computed atomic.Int64
+	// NegHits counts cells whose recorded failure was replayed from
+	// the store instead of re-simulating a known-bad configuration.
+	NegHits atomic.Int64
+
+	// Kernel scheduling counters, summed across simulated cells (see
+	// vtime.Counters for field meanings).
+	Switches    atomic.Int64
+	SyncFast    atomic.Int64
+	PingPong    atomic.Int64
+	Wakes       atomic.Int64
+	WakeBatches atomic.Int64
+	HeapOps     atomic.Int64
+}
+
+// AddKernel folds one execution's kernel counters into the totals.
+func (st *SweepStats) AddKernel(c vtime.Counters) {
+	st.Switches.Add(c.Switches)
+	st.SyncFast.Add(c.SyncFast)
+	st.PingPong.Add(c.PingPong)
+	st.Wakes.Add(c.Wakes)
+	st.WakeBatches.Add(c.WakeBatches)
+	st.HeapOps.Add(c.HeapOps)
+}
+
+// Kernel returns the aggregated kernel counters as one value.
+func (st *SweepStats) Kernel() vtime.Counters {
+	return vtime.Counters{
+		Switches:    st.Switches.Load(),
+		SyncFast:    st.SyncFast.Load(),
+		PingPong:    st.PingPong.Load(),
+		Wakes:       st.Wakes.Load(),
+		WakeBatches: st.WakeBatches.Load(),
+		HeapOps:     st.HeapOps.Load(),
+	}
 }
 
 // MissingCell names one cell a sweep could not produce.
@@ -311,17 +347,23 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 	}
 
 	// Consult the store first; hits restore into their input-order
-	// slots. What remains is split into cells this invocation computes
-	// and cells it must leave to other shards (or, under FromStore, to
-	// nobody).
+	// slots, and a recorded failure replays without re-simulating the
+	// known-bad cell — distinctly from missing cells, which surface as
+	// *MissingCellsError. What remains is split into cells this
+	// invocation computes and cells it must leave to other shards (or,
+	// under FromStore, to nobody).
 	var torun, missing []int
 	for i := range specs {
-		if saved, ok := s.store.Get(keys[i]); ok {
+		if ent, ok := s.store.Lookup(keys[i]); ok {
+			if ent.Err != "" {
+				s.stats.NegHits.Add(1)
+				return nil, &CellError{Label: specs[i].Label, Err: &resultdb.RecordedError{Key: keys[i], Msg: ent.Err}}
+			}
 			cell, err := s.cellFor(specs[i])
 			if err != nil {
 				return nil, &CellError{Label: specs[i].Label, Err: err}
 			}
-			results[i] = saved.Restore(cell)
+			results[i] = ent.Result.Restore(cell)
 			s.stats.Hits.Add(1)
 			continue
 		}
@@ -343,6 +385,11 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 		i := torun[j]
 		res, err := s.runSpec(specs[i])
 		if err != nil {
+			// Cell outcomes are pure functions of the spec, so the
+			// failure is deterministic: record it so repeated sweeps
+			// skip the known-bad cell. A store error must not mask the
+			// cell failure, which still surfaces either way.
+			_ = s.store.PutError(keys[i], err.Error())
 			return &CellError{Label: specs[i].Label, Err: err}
 		}
 		if err := s.store.Put(keys[i], res.Saved()); err != nil {
@@ -384,19 +431,24 @@ func (s *Sweep) RunOne(sp CellSpec) (core.Result, error) {
 	if err != nil {
 		return core.Result{}, err
 	}
-	if saved, ok := s.store.Get(key); ok {
+	if ent, ok := s.store.Lookup(key); ok {
+		if ent.Err != "" {
+			s.stats.NegHits.Add(1)
+			return core.Result{}, &CellError{Label: sp.Label, Err: &resultdb.RecordedError{Key: key, Msg: ent.Err}}
+		}
 		cell, err := s.cellFor(sp)
 		if err != nil {
 			return core.Result{}, err
 		}
 		s.stats.Hits.Add(1)
-		return saved.Restore(cell), nil
+		return ent.Result.Restore(cell), nil
 	}
 	if s.fromStore || !s.shard.Owns(key) {
 		return core.Result{}, &MissingCellsError{Cells: []MissingCell{{Label: sp.Label, Key: key}}}
 	}
 	res, err := s.runSpec(sp)
 	if err != nil {
+		_ = s.store.PutError(key, err.Error())
 		return core.Result{}, err
 	}
 	if err := s.store.Put(key, res.Saved()); err != nil {
@@ -444,6 +496,11 @@ func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
 		return core.Result{}, err
 	}
 	s.stats.Computed.Add(1)
+	// Kernel counters are wall-cost observability, not simulation
+	// output: aggregate them into the sweep stats and strip them from
+	// the result, so warm (restored) and cold results stay deep-equal.
+	s.stats.AddKernel(res.Exec.MPI.Kernel)
+	res.Exec.MPI.Kernel = vtime.Counters{}
 	return res, nil
 }
 

@@ -323,9 +323,13 @@ func (r *Rank) completeMatchedRecv(post *recvPost, msg *message, arrival units.S
 }
 
 // wakeIfBlocked wakes a peer rank parked in Wait if its request is now
-// satisfied. Waking an unblocked peer is a no-op handled by waitOne's
-// re-check loop; the vtime kernel only lets us wake genuinely blocked
-// procs, so Wait marks itself via proc state.
+// satisfied. The kernel defers the wake: the peer joins the run queue
+// in a batched insert at this rank's next scheduling point, so the
+// consecutive completions of a collective fan-out (a Bcast or Scatter
+// root eagerly satisfying one blocked child per send) flush as one
+// bulk operation instead of one heap push each. The vtime kernel only
+// lets us wake genuinely blocked procs, so Wait marks itself via the
+// waiting flag before parking.
 func (r *Rank) wakeIfBlocked(peer *Rank, at units.Seconds) {
 	if peer.waiting {
 		r.proc.Wake(peer.proc, at)

@@ -157,6 +157,10 @@ type Stats struct {
 	TotalMessages int
 	// RankEnd holds every rank's finish time.
 	RankEnd []units.Seconds
+	// Kernel reports the vtime scheduler's counters for this execution
+	// — wall-cost observability, not simulated output, so it is
+	// excluded from persisted results.
+	Kernel vtime.Counters `json:"-"`
 }
 
 // Run executes body on every rank and returns the execution statistics.
@@ -193,7 +197,7 @@ func Run(cfg Config, body func(r *Rank)) (Stats, error) {
 		body(r)
 	})
 
-	st := Stats{End: end, RankEnd: make([]units.Seconds, cfg.Ranks)}
+	st := Stats{End: end, RankEnd: make([]units.Seconds, cfg.Ranks), Kernel: w.sched.Counters()}
 	var sumComm units.Seconds
 	for i, r := range w.ranks {
 		st.RankEnd[i] = r.proc.Now()

@@ -15,11 +15,19 @@
 // record committed just before a crash that lost its journal line is
 // still found on disk.
 //
-// Records carry a schema stamp. Bump SchemaVersion whenever the
-// simulator's output for a given identity changes (model constants,
-// result fields, canonical encoding): every existing record then reads
-// as a miss and is recomputed, so stale caches self-invalidate instead
-// of replaying outdated numbers.
+// Records carry a schema stamp, SchemaVersion: a record-format
+// generation plus a checksum over the simulator's model constants
+// (fabric/cluster/container tables, workload cases, solver cost
+// constants — see core.ModelChecksum). Any change to a model number
+// alters the stamp, so every existing record reads as a miss and is
+// recomputed — stale caches self-invalidate instead of replaying
+// outdated numbers, without anyone remembering to bump a version.
+//
+// Failed cells are cached too: PutError commits a schema-stamped error
+// record through the same atomic-rename path, so repeated sweeps skip
+// known-bad runtime×technique combinations. Lookup distinguishes the
+// three outcomes — successful result, recorded failure, miss — while
+// Get keeps the success-only view.
 //
 // Multiple processes may share one directory — the sharded-sweep
 // workflow depends on it. Renames are atomic, concurrent commits of
@@ -40,10 +48,18 @@ import (
 	"repro/internal/core"
 )
 
-// SchemaVersion stamps every record. Bump it when a simulator change
-// alters what any cell identity produces; older records then
-// self-invalidate on read.
-const SchemaVersion = 1
+// schemaGeneration is the record-format generation: bump it when the
+// record encoding itself changes (fields added or reinterpreted).
+// Model-constant changes are covered automatically by the checksum.
+const schemaGeneration = 2
+
+// SchemaVersion stamps every record: the record-format generation
+// joined with a checksum over the simulator model constants. Records
+// written under a different generation or a different model read as
+// misses and are recomputed.
+func SchemaVersion() string {
+	return fmt.Sprintf("%d-%s", schemaGeneration, core.ModelChecksum()[:16])
+}
 
 // manifestName is the journal file inside a store directory.
 const manifestName = "manifest.log"
@@ -51,12 +67,24 @@ const manifestName = "manifest.log"
 // record is the on-disk form of one cached cell.
 type record struct {
 	// Schema is the SchemaVersion the record was written under.
-	Schema int `json:"schema"`
+	Schema string `json:"schema"`
 	// Key echoes the content address, guarding against renamed or
 	// cross-copied files.
 	Key string `json:"key"`
-	// Result is the saved outcome.
+	// Result is the saved outcome; meaningful only when Error is empty.
 	Result core.SavedResult `json:"result"`
+	// Error is the recorded failure of a known-bad cell; empty for
+	// successful cells.
+	Error string `json:"error,omitempty"`
+}
+
+// Entry is one committed record's payload: a saved result, or the
+// recorded error of a cell that deterministically fails.
+type Entry struct {
+	// Result is the saved outcome; meaningful only when Err is empty.
+	Result core.SavedResult
+	// Err is the recorded failure; empty for successful cells.
+	Err string
 }
 
 // Store is one cache directory.
@@ -129,36 +157,62 @@ func (s *Store) recordPath(key string) string {
 	return filepath.Join(s.dir, prefix, key+".json")
 }
 
-// Get returns the saved result for a key. Every failure mode — no
-// record, truncated or corrupt JSON, schema mismatch, key mismatch —
-// reads as a miss, so a damaged entry costs one recomputation, never
-// a failed sweep.
+// Get returns the saved result for a key, success records only. Every
+// failure mode — no record, truncated or corrupt JSON, schema
+// mismatch, key mismatch, recorded failure — reads as a miss, so a
+// damaged entry costs one recomputation, never a failed sweep.
 func (s *Store) Get(key string) (core.SavedResult, bool) {
+	ent, ok := s.Lookup(key)
+	if !ok || ent.Err != "" {
+		return core.SavedResult{}, false
+	}
+	return ent.Result, true
+}
+
+// Lookup returns the committed entry for a key — a saved result or a
+// recorded failure (Entry.Err non-empty). Damaged, stale-schema, and
+// mismatched records read as misses, exactly as in Get.
+func (s *Store) Lookup(key string) (Entry, bool) {
 	data, err := os.ReadFile(s.recordPath(key))
 	if err != nil {
-		return core.SavedResult{}, false
+		return Entry{}, false
 	}
 	var rec record
 	if err := json.Unmarshal(data, &rec); err != nil {
-		return core.SavedResult{}, false
+		return Entry{}, false
 	}
-	if rec.Schema != SchemaVersion || rec.Key != key {
-		return core.SavedResult{}, false
+	if rec.Schema != SchemaVersion() || rec.Key != key {
+		return Entry{}, false
 	}
 	s.mu.Lock()
 	s.known[key] = true // reconcile: found on disk but absent from our journal view
 	s.mu.Unlock()
-	return rec.Result, true
+	return Entry{Result: rec.Result, Err: rec.Error}, true
 }
 
 // Put commits a result under a key: temp file, sync, atomic rename,
 // then a journal append. A concurrent Put of the same key from another
 // process is harmless — both renames install identical content.
 func (s *Store) Put(key string, res core.SavedResult) error {
+	return s.commit(key, record{Schema: SchemaVersion(), Key: key, Result: res})
+}
+
+// PutError commits a failure record under a key through the same
+// atomic-rename path, so repeated sweeps skip known-bad cells instead
+// of re-simulating them. The message must be non-empty — it is what
+// distinguishes a failure record from a success.
+func (s *Store) PutError(key, msg string) error {
+	if msg == "" {
+		return fmt.Errorf("resultdb: empty failure message for key %s", key)
+	}
+	return s.commit(key, record{Schema: SchemaVersion(), Key: key, Error: msg})
+}
+
+func (s *Store) commit(key string, rec record) error {
 	if key == "" {
 		return fmt.Errorf("resultdb: empty key")
 	}
-	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: res})
+	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("resultdb: %w", err)
 	}
@@ -221,3 +275,18 @@ func (s *Store) Len() int {
 	defer s.mu.Unlock()
 	return len(s.known)
 }
+
+// RecordedError is a replayed failure record: consumers return it in
+// place of re-running a cell whose deterministic failure the store
+// already witnessed. errors.As separates a replayed failure from a
+// fresh one and from genuinely missing cells.
+type RecordedError struct {
+	// Key is the failed cell's content address.
+	Key string
+	// Msg is the failure text exactly as first recorded.
+	Msg string
+}
+
+// Error returns the recorded message verbatim, so a replayed failure
+// renders identically to the original.
+func (e *RecordedError) Error() string { return e.Msg }

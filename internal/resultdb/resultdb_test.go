@@ -127,7 +127,7 @@ func TestSchemaStampInvalidates(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	rec.Schema = SchemaVersion + 1
+	rec.Schema = SchemaVersion() + "-stale"
 	stale, err := json.Marshal(rec)
 	if err != nil {
 		t.Fatal(err)
@@ -360,5 +360,63 @@ func TestShardPartition(t *testing.T) {
 	// The zero shard owns everything.
 	if !(Shard{}).Owns(key(1)) {
 		t.Error("zero shard does not own keys")
+	}
+}
+
+// TestPutErrorRoundTrip covers negative caching: a failure record
+// commits through the same path, replays through Lookup, stays
+// invisible to the success-only Get, and enters the manifest journal.
+func TestPutErrorRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.PutError(key(7), "docker needs admin rights"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(7)); ok {
+		t.Fatal("failure record answered a success-only Get")
+	}
+	ent, ok := s.Lookup(key(7))
+	if !ok {
+		t.Fatal("failure record missed on Lookup")
+	}
+	if ent.Err != "docker needs admin rights" {
+		t.Fatalf("replayed message %q", ent.Err)
+	}
+
+	// A later process sees it through the journal like any record.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 1 {
+		t.Fatalf("journal replay found %d keys, want 1", got)
+	}
+	if ent, ok := s2.Lookup(key(7)); !ok || ent.Err == "" {
+		t.Fatal("failure record lost across reopen")
+	}
+
+	// Empty messages are indistinguishable from successes: rejected.
+	if err := s.PutError(key(8), ""); err == nil {
+		t.Fatal("empty failure message accepted")
+	}
+}
+
+// TestSchemaVersionTracksModel asserts the stamp embeds the model
+// checksum, so resimulating after a model-constant change cannot
+// replay records from the old model.
+func TestSchemaVersionTracksModel(t *testing.T) {
+	v := SchemaVersion()
+	want := fmt.Sprintf("%d-%s", schemaGeneration, core.ModelChecksum()[:16])
+	if v != want {
+		t.Fatalf("SchemaVersion() = %q, want %q", v, want)
+	}
+	if SchemaVersion() != v {
+		t.Fatal("SchemaVersion unstable across calls")
 	}
 }

@@ -2,17 +2,42 @@
 // kernel underneath the simulator.
 //
 // Simulated processes (MPI ranks, deployment agents, ...) are ordinary
-// goroutines, but they never run concurrently: a scheduler resumes
-// exactly one process at a time, always the runnable process with the
-// smallest virtual clock (ties broken by process id). Processes advance
-// their own clocks with model costs and interact only at explicit
-// scheduling points, so every shared model structure (message queues,
-// NIC reservations, filesystem bandwidth) is accessed in a single,
+// goroutines, but they never run concurrently: exactly one process is
+// running at a time, always the runnable process with the smallest
+// virtual clock (ties broken by process id). Processes advance their
+// own clocks with model costs and interact only at explicit scheduling
+// points, so every shared model structure (message queues, NIC
+// reservations, filesystem bandwidth) is accessed in a single,
 // reproducible virtual-time order without any locking.
 //
 // This is the classic conservative sequential discrete-event design,
 // expressed with coroutines so that rank programs read as straight-line
 // imperative code.
+//
+// # Direct handoff
+//
+// Control passes directly from the yielding process to its successor:
+// the yielding goroutine picks the next runnable process off the run
+// queue and unparks it in a single synchronization hop, instead of
+// bouncing through a central run loop (two hops per scheduling point).
+// The Run goroutine participates only at startup, completion, panic
+// unwinding, and deadlock detection. Two structural levers ride on
+// that shape:
+//
+//   - Wakes are deferred: Wake parks the woken process on a pending
+//     list (no heap traffic) and the kernel folds the whole list into
+//     the run queue in one batched insert at the next yield point — a
+//     collective fan-out that wakes k waiters costs one bulk operation
+//     instead of k pushes. Sync stays exact because its fast-path test
+//     consults the pending minimum alongside the heap minimum.
+//   - A ping-pong fast slot: when exactly two processes alternate (the
+//     dominant rendezvous point-to-point pattern) the handoff swaps
+//     them through the single pending slot and never touches the heap.
+//
+// The happens-before chain of park/unpark channel operations makes the
+// single-running-process invariant a memory-ordering guarantee too:
+// every scheduler and model mutation a process performs is ordered
+// before the next process observes it.
 package vtime
 
 import (
@@ -32,16 +57,48 @@ const (
 	stateDone
 )
 
+// Counters exposes the kernel's scheduling-path counters, so perf
+// regressions on the hot path are observable from sweeps and the CLI.
+type Counters struct {
+	// Switches counts direct handoffs between processes.
+	Switches int64
+	// SyncFast counts Sync calls resolved without yielding.
+	SyncFast int64
+	// PingPong counts switches through the two-process fast slot,
+	// which bypass the heap entirely.
+	PingPong int64
+	// Wakes counts processes made runnable by Wake/WakeAll.
+	Wakes int64
+	// WakeBatches counts bulk flushes that folded more than one
+	// pending waiter into the run queue in a single operation.
+	WakeBatches int64
+	// HeapOps counts run-queue heap operations (pushes and pops;
+	// fast-slot switches perform none).
+	HeapOps int64
+}
+
+// Sub returns the counters accumulated between snapshot o and c.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Switches:    c.Switches - o.Switches,
+		SyncFast:    c.SyncFast - o.SyncFast,
+		PingPong:    c.PingPong - o.PingPong,
+		Wakes:       c.Wakes - o.Wakes,
+		WakeBatches: c.WakeBatches - o.WakeBatches,
+		HeapOps:     c.HeapOps - o.HeapOps,
+	}
+}
+
 // Proc is one simulated process. All methods must be called from the
-// process's own goroutine while it is the running process, except Wake,
-// which a running process calls on a peer.
+// process's own goroutine while it is the running process, except Wake
+// and WakeAll, which a running process calls on blocked peers.
 type Proc struct {
 	ID    int
 	sched *Scheduler
 
 	now      units.Seconds
 	state    procState
-	resume   chan struct{}
+	resume   chan struct{} // buffered(1): unpark semaphore
 	heapIdx  int
 	blockTag string // diagnostic: what the proc is blocked on
 }
@@ -65,22 +122,35 @@ func (p *Proc) AdvanceTo(t units.Seconds) {
 	}
 }
 
-// Sync yields to the scheduler so that every process with an earlier
-// virtual clock runs first. Call it before touching shared model state;
-// afterwards the process is guaranteed to be the earliest actor.
+// Sync yields so that every process with an earlier virtual clock runs
+// first. Call it before touching shared model state; afterwards the
+// process is guaranteed to be the earliest actor.
 func (p *Proc) Sync() {
 	p.checkRunning("Sync")
-	// Fast path: when no runnable process precedes this one in
-	// (time, ID) order the scheduler would resume it immediately, so
-	// the coroutine round trip through the run loop can be skipped.
-	// Blocked processes cannot become runnable here — only a running
-	// process wakes them — so the heap minimum is the full picture.
-	if len(p.sched.heap) == 0 || p.sched.less(p, p.sched.heap[0]) {
+	s := p.sched
+	// Fast path: when no runnable process — heaped or pending wake —
+	// precedes this one in (time, ID) order, the handoff would come
+	// straight back, so the switch can be skipped. Blocked processes
+	// cannot become runnable here (only a running process wakes them),
+	// so heap minimum plus pending minimum is the full picture.
+	if (len(s.heap) == 0 || s.less(p, s.heap[0])) &&
+		(s.pendingMin == nil || s.less(p, s.pendingMin)) {
+		s.counters.SyncFast++
 		return
 	}
 	p.state = stateRunnable
-	p.sched.push(p)
-	p.sched.events <- p
+	var next *Proc
+	if len(s.heap) == 0 && len(s.pending) == 1 {
+		// Ping-pong fast slot: swap through the pending slot, no heap.
+		next = s.pending[0]
+		s.pending[0] = p
+		s.pendingMin = p
+		s.counters.PingPong++
+	} else {
+		s.flushWakes()
+		next = s.replaceTop(p)
+	}
+	s.handoff(next)
 	<-p.resume
 }
 
@@ -90,12 +160,15 @@ func (p *Proc) Block(tag string) {
 	p.checkRunning("Block")
 	p.state = stateBlocked
 	p.blockTag = tag
-	p.sched.events <- p
+	p.sched.scheduleNext()
 	<-p.resume
 }
 
-// Wake makes a blocked peer runnable with its clock advanced to at
-// (if later). It must be called by the currently running process.
+// Wake makes a blocked peer runnable with its clock advanced to at (if
+// later). It must be called by the currently running process. The wake
+// is deferred: the peer joins the run queue in a batched insert at the
+// caller's next yield point, which Sync's fast-path test accounts for
+// exactly.
 func (p *Proc) Wake(q *Proc, at units.Seconds) {
 	p.checkRunning("Wake")
 	if q.state != stateBlocked {
@@ -104,7 +177,22 @@ func (p *Proc) Wake(q *Proc, at units.Seconds) {
 	q.AdvanceTo(at)
 	q.state = stateRunnable
 	q.blockTag = ""
-	p.sched.push(q)
+	s := p.sched
+	s.pending = append(s.pending, q)
+	if s.pendingMin == nil || s.less(q, s.pendingMin) {
+		s.pendingMin = q
+	}
+	s.counters.Wakes++
+}
+
+// WakeAll wakes every blocked proc in peers at time at. The peers are
+// folded into the run queue in one batched operation at the caller's
+// next yield point instead of one push each — the collective fan-out
+// path.
+func (p *Proc) WakeAll(peers []*Proc, at units.Seconds) {
+	for _, q := range peers {
+		p.Wake(q, at)
+	}
 }
 
 func (p *Proc) checkRunning(op string) {
@@ -113,28 +201,37 @@ func (p *Proc) checkRunning(op string) {
 	}
 }
 
-// Scheduler owns the set of processes and the runnable heap.
+// Scheduler owns the set of processes, the runnable heap, and the
+// pending-wake batch.
 type Scheduler struct {
-	procs  []*Proc
-	heap   []*Proc // min-heap on (now, ID)
-	events chan *Proc
-	alive  int
+	procs []*Proc
+	heap  []*Proc // min-heap on (now, ID)
+	// pending holds procs woken since the last yield point; they join
+	// the heap in one batched insert. pendingMin tracks their minimum
+	// so Sync's fast-path test stays O(1).
+	pending    []*Proc
+	pendingMin *Proc
+	alive      int
+	// done wakes the Run goroutine: simulation complete, deadlock, or
+	// a captured proc panic (see failure).
+	done chan struct{}
 	// failure records the first process panic, re-raised from Run.
-	failure string
+	failure  string
+	counters Counters
 }
 
 // NewScheduler creates a scheduler for n processes starting at time 0.
 func NewScheduler(n int) *Scheduler {
 	s := &Scheduler{
-		procs:  make([]*Proc, n),
-		heap:   make([]*Proc, 0, n),
-		events: make(chan *Proc),
+		procs: make([]*Proc, n),
+		heap:  make([]*Proc, 0, n),
+		done:  make(chan struct{}, 1),
 	}
 	for i := range s.procs {
 		s.procs[i] = &Proc{
 			ID:      i,
 			sched:   s,
-			resume:  make(chan struct{}),
+			resume:  make(chan struct{}, 1),
 			heapIdx: -1,
 			state:   stateRunnable,
 		}
@@ -145,6 +242,41 @@ func NewScheduler(n int) *Scheduler {
 // Procs returns the scheduler's processes, indexed by id.
 func (s *Scheduler) Procs() []*Proc { return s.procs }
 
+// Counters returns the kernel counters accumulated so far. Call it
+// after Run returns.
+func (s *Scheduler) Counters() Counters { return s.counters }
+
+// handoff transfers control to next: the caller stops being the
+// running process (it parks, finishes, or is the Run goroutine at
+// startup) and next starts. One synchronization hop.
+func (s *Scheduler) handoff(next *Proc) {
+	next.state = stateRunning
+	s.counters.Switches++
+	next.resume <- struct{}{}
+}
+
+// scheduleNext passes control from a process leaving the running state
+// (blocked or finished) to the next runnable process, or wakes the Run
+// goroutine when nothing is runnable (completion or deadlock).
+func (s *Scheduler) scheduleNext() {
+	if len(s.heap) == 0 && len(s.pending) == 1 {
+		// Ping-pong fast slot: the one pending waiter runs next.
+		next := s.pending[0]
+		s.pending = s.pending[:0]
+		s.pendingMin = nil
+		s.counters.PingPong++
+		s.handoff(next)
+		return
+	}
+	s.flushWakes()
+	next := s.pop()
+	if next == nil {
+		s.done <- struct{}{}
+		return
+	}
+	s.handoff(next)
+}
+
 // Run starts body(i, proc) for every process and drives the simulation
 // until all processes finish. It returns the maximum final virtual time.
 // A deadlock (blocked processes with nothing runnable) panics with a
@@ -153,8 +285,13 @@ func (s *Scheduler) Procs() []*Proc { return s.procs }
 // goroutine, annotated with the process id.
 func (s *Scheduler) Run(body func(p *Proc)) units.Seconds {
 	s.alive = len(s.procs)
+	// Initial fill: every proc starts at time zero, so appending in
+	// ascending-ID order is already a valid heap.
+	for i, p := range s.procs {
+		p.heapIdx = i
+	}
+	s.heap = append(s.heap, s.procs...)
 	for _, p := range s.procs {
-		s.push(p)
 		proc := p
 		go func() {
 			<-proc.resume
@@ -163,27 +300,29 @@ func (s *Scheduler) Run(body func(p *Proc)) units.Seconds {
 					s.failure = fmt.Sprintf("vtime: proc %d panicked: %v", proc.ID, r)
 				}
 				proc.state = stateDone
-				s.events <- proc
+				s.alive--
+				if s.failure != "" || s.alive == 0 {
+					// A panic abandons the simulation (peers may be
+					// stranded; Run surfaces the original failure);
+					// otherwise the last proc finished and the
+					// simulation is complete.
+					s.done <- struct{}{}
+					return
+				}
+				s.scheduleNext()
 			}()
 			body(proc)
 		}()
 	}
-	for s.alive > 0 {
-		p := s.pop()
-		if p == nil {
-			s.deadlock()
-		}
-		p.state = stateRunning
-		p.resume <- struct{}{}
-		ev := <-s.events
-		if ev.state == stateDone {
-			s.alive--
-			if s.failure != "" {
-				// A proc died; its peers may now be stranded. Abandon
-				// the simulation and surface the original failure.
-				panic(s.failure)
-			}
-		}
+	if first := s.pop(); first != nil {
+		s.handoff(first)
+		<-s.done
+	}
+	if s.failure != "" {
+		panic(s.failure)
+	}
+	if s.alive > 0 {
+		s.deadlock()
 	}
 	var end units.Seconds
 	for _, p := range s.procs {
@@ -230,10 +369,44 @@ func (s *Scheduler) less(a, b *Proc) bool {
 	return a.ID < b.ID
 }
 
+// flushWakes folds the pending-wake batch into the heap. A single
+// waiter is pushed; a batch is appended and restored to heap order in
+// one operation — sift-ups for batches small against the heap, one
+// O(n + k) heapify when the batch rivals it.
+func (s *Scheduler) flushWakes() {
+	k := len(s.pending)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		s.push(s.pending[0])
+	} else {
+		s.counters.WakeBatches++
+		s.counters.HeapOps += int64(k)
+		n := len(s.heap)
+		s.heap = append(s.heap, s.pending...)
+		for i := n; i < len(s.heap); i++ {
+			s.heap[i].heapIdx = i
+		}
+		if k > n/4 {
+			for i := len(s.heap)/2 - 1; i >= 0; i-- {
+				s.down(i)
+			}
+		} else {
+			for i := n; i < len(s.heap); i++ {
+				s.up(i)
+			}
+		}
+	}
+	s.pending = s.pending[:0]
+	s.pendingMin = nil
+}
+
 func (s *Scheduler) push(p *Proc) {
 	if p.heapIdx != -1 {
 		panic(fmt.Sprintf("vtime: proc %d pushed twice", p.ID))
 	}
+	s.counters.HeapOps++
 	s.heap = append(s.heap, p)
 	p.heapIdx = len(s.heap) - 1
 	s.up(p.heapIdx)
@@ -243,6 +416,7 @@ func (s *Scheduler) pop() *Proc {
 	if len(s.heap) == 0 {
 		return nil
 	}
+	s.counters.HeapOps++
 	top := s.heap[0]
 	last := len(s.heap) - 1
 	s.swap(0, last)
@@ -251,6 +425,18 @@ func (s *Scheduler) pop() *Proc {
 	if last > 0 {
 		s.down(0)
 	}
+	return top
+}
+
+// replaceTop pops the heap minimum and inserts p in its place with a
+// single sift-down — the combined pop+push a Sync yield performs.
+func (s *Scheduler) replaceTop(p *Proc) *Proc {
+	s.counters.HeapOps += 2
+	top := s.heap[0]
+	top.heapIdx = -1
+	s.heap[0] = p
+	p.heapIdx = 0
+	s.down(0)
 	return top
 }
 
@@ -307,7 +493,8 @@ func NewResource(name string) *Resource { return &Resource{Name: name} }
 // hold. On return p's clock includes both the wait and the hold.
 func (r *Resource) Acquire(p *Proc, hold units.Seconds) {
 	if hold < 0 {
-		panic(fmt.Sprintf("vtime: resource %s acquired for negative duration %v", r.Name, hold))
+		panic(fmt.Sprintf("vtime: resource %s acquired by proc %d at %v for negative duration %v",
+			r.Name, p.ID, p.now, hold))
 	}
 	p.AdvanceTo(r.freeAt)
 	r.freeAt = p.now + hold
@@ -321,7 +508,8 @@ func (r *Resource) Acquire(p *Proc, hold units.Seconds) {
 // DMA) whose completion the caller folds into a message arrival time.
 func (r *Resource) ReserveAt(start units.Seconds, hold units.Seconds) units.Seconds {
 	if hold < 0 {
-		panic(fmt.Sprintf("vtime: resource %s reserved for negative duration %v", r.Name, hold))
+		panic(fmt.Sprintf("vtime: resource %s reserved at %v for negative duration %v",
+			r.Name, start, hold))
 	}
 	if r.freeAt > start {
 		start = r.freeAt

@@ -206,3 +206,184 @@ func TestManyProcsDeterministic(t *testing.T) {
 		t.Fatalf("nondeterministic: %v vs %v", a, b)
 	}
 }
+
+// TestPanicWithLivePeers covers panic propagation when the panicking
+// proc is not alone: one peer is parked in Block, another is runnable
+// in the heap. Run must abandon the simulation and re-raise the
+// original panic annotated with the proc id, not deadlock or hang.
+func TestPanicWithLivePeers(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "proc 1 panicked") || !strings.Contains(msg, "model bug") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	s := NewScheduler(3)
+	s.Run(func(p *Proc) {
+		switch p.ID {
+		case 0:
+			p.Block("waiting-on-dead-peer")
+		case 1:
+			p.Advance(units.Second)
+			p.Sync()
+			panic("model bug")
+		case 2:
+			p.Advance(10 * units.Second) // runnable, scheduled after the panic
+			p.Sync()
+		}
+	})
+}
+
+// TestDeadlockTruncation asserts the deadlock diagnostic lists the
+// first 16 blocked procs and summarizes the rest, so a 12k-rank
+// deadlock stays readable.
+func TestDeadlockTruncation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "deadlock") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+		if !strings.Contains(msg, "proc 15 ") {
+			t.Fatalf("diagnostic lost proc 15: %v", msg)
+		}
+		if strings.Contains(msg, "proc 16 ") {
+			t.Fatalf("diagnostic not truncated at 16 procs: %v", msg)
+		}
+		if !strings.Contains(msg, "... and 4 more") {
+			t.Fatalf("diagnostic does not summarize the tail: %v", msg)
+		}
+	}()
+	s := NewScheduler(20)
+	s.Run(func(p *Proc) {
+		p.Block("stuck")
+	})
+}
+
+// TestWakeNonBlockedPanics asserts waking a runnable peer is reported
+// as the caller's bug, through the usual proc-panic propagation.
+func TestWakeNonBlockedPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "proc 0 panicked") || !strings.Contains(msg, "not blocked") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	s := NewScheduler(2)
+	procs := s.Procs()
+	s.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Wake(procs[1], 0) // proc 1 is runnable, never blocked
+		}
+	})
+}
+
+// TestDeferredWakeVisibleToSync pins the deferred-wake contract: a
+// peer woken to an earlier virtual time must run before the waker's
+// next Sync returns, even though the wake only joins the heap at that
+// yield point.
+func TestDeferredWakeVisibleToSync(t *testing.T) {
+	s := NewScheduler(2)
+	procs := s.Procs()
+	var order []int
+	s.Run(func(p *Proc) {
+		if p.ID == 1 {
+			p.Block("early-sleeper")
+			order = append(order, 1)
+			return
+		}
+		p.Advance(10 * units.Second)
+		p.Sync()
+		p.Wake(procs[1], 5*units.Second) // earlier than proc 0's clock
+		p.Sync()
+		order = append(order, 0)
+	})
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("woken-earlier proc did not run before Sync returned: order %v", order)
+	}
+}
+
+// TestWakeAllOrderAndBatching wakes several peers in one WakeAll and
+// asserts they resume in (time, ID) order through one batched flush.
+func TestWakeAllOrderAndBatching(t *testing.T) {
+	const n = 6
+	s := NewScheduler(n)
+	procs := s.Procs()
+	var order []int
+	s.Run(func(p *Proc) {
+		if p.ID > 0 {
+			p.Block("barrier")
+			order = append(order, p.ID)
+			if p.ID == n-1 {
+				p.Wake(procs[0], p.Now()) // last released peer frees the releaser
+			}
+			return
+		}
+		p.Advance(units.Second)
+		p.Sync() // let every peer park first
+		p.WakeAll(procs[1:], 2*units.Second)
+		p.Block("after-release") // peers run now
+	})
+	// All peers woke at the same time, so they must resume in ID order.
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+	c := s.Counters()
+	if c.Wakes != n {
+		t.Fatalf("counted %d wakes, want %d", c.Wakes, n)
+	}
+	if c.WakeBatches == 0 {
+		t.Fatal("WakeAll did not flush as a batch")
+	}
+}
+
+// TestPingPongBypassesHeap asserts the two-proc alternation runs
+// through the fast slot: heap traffic must stay constant while the
+// iteration count grows.
+func TestPingPongBypassesHeap(t *testing.T) {
+	run := func(iters int) Counters {
+		s := NewScheduler(2)
+		procs := s.Procs()
+		s.Run(func(p *Proc) {
+			peer := procs[1-p.ID]
+			if p.ID == 1 {
+				p.Block("start")
+			} else {
+				p.Advance(units.Microsecond)
+				p.Sync()
+			}
+			for i := 0; i < iters; i++ {
+				p.Wake(peer, p.Now())
+				p.Block("pingpong")
+			}
+			if p.ID == 0 {
+				p.Wake(peer, p.Now())
+			}
+		})
+		return s.Counters()
+	}
+	small, large := run(10), run(1000)
+	if large.PingPong <= small.PingPong {
+		t.Fatalf("ping-pong slot not engaged: %d vs %d hits", small.PingPong, large.PingPong)
+	}
+	if large.HeapOps != small.HeapOps {
+		t.Fatalf("heap traffic grew with ping-pong iterations: %d vs %d ops", small.HeapOps, large.HeapOps)
+	}
+	if large.Switches < 2000 {
+		t.Fatalf("switch counter undercounts: %d", large.Switches)
+	}
+}
