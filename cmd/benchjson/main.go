@@ -9,14 +9,23 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_$(git rev-parse HEAD).json
+//	benchjson compare [-threshold 0.10] old.json new.json
+//
+// compare diffs two artifacts benchmark by benchmark and exits
+// non-zero when any shared benchmark's ns/op regressed past the
+// threshold (a fraction: 0.10 = +10%), so the CI bench job can gate
+// on the previous commit's artifact. Benchmarks present in only one
+// artifact are reported but never gate — renames must not fail CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,10 +52,157 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		regressed, err := runCompare(os.Stdout, os.Args[2:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare parses `compare [-threshold F] old.json new.json` (the
+// flag may also trail the files) and reports the regression count.
+func runCompare(w io.Writer, args []string) (int, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	threshold := fs.Float64("threshold", 0.10, "ns/op regression fraction that fails the comparison")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	rest := fs.Args()
+	if len(rest) > 2 {
+		// Trailing flags: `compare old.json new.json -threshold 0.10`.
+		if err := fs.Parse(rest[2:]); err != nil {
+			return 0, err
+		}
+		if fs.NArg() != 0 {
+			return 0, fmt.Errorf("compare takes exactly two artifacts, got %q", append(rest[:2], fs.Args()...))
+		}
+		rest = rest[:2]
+	}
+	if len(rest) != 2 {
+		return 0, fmt.Errorf("usage: benchjson compare [-threshold F] old.json new.json")
+	}
+	if *threshold <= 0 {
+		return 0, fmt.Errorf("-threshold must be positive, got %v", *threshold)
+	}
+	oldRep, err := loadReport(rest[0])
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(rest[1])
+	if err != nil {
+		return 0, err
+	}
+	return compareReports(w, oldRep, newRep, *threshold), nil
+}
+
+// loadReport reads one benchjson artifact.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark within one artifact.
+func benchKey(b Benchmark) string { return b.Pkg + "\t" + b.Name }
+
+// strippedKey drops a trailing "-<digits>" (the GOMAXPROCS suffix)
+// from the key. Used only as a matching fallback: a benchmark's own
+// name can also end in digits, so exact matches always win and an
+// ambiguous stripped key is never used.
+func strippedKey(b Benchmark) string {
+	key := benchKey(b)
+	if i := strings.LastIndexByte(key, '-'); i > 0 {
+		if _, err := strconv.Atoi(key[i+1:]); err == nil {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// compareReports diffs shared benchmarks on ns/op and returns how
+// many regressed past the threshold. Every shared benchmark is
+// listed, worst first, so CI logs show the whole movement, not only
+// the failures; new-only and vanished benchmarks are counted but
+// never gate.
+func compareReports(w io.Writer, oldRep, newRep *Report, threshold float64) int {
+	// Exact-name matches first; a stripped-suffix fallback bridges
+	// baselines from runners with different core counts ("-4" vs
+	// "-8") without ever conflating distinct benchmarks — a stripped
+	// key shared by several old entries is ambiguous and unused.
+	olds := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	stripped := make(map[string][]string)
+	for _, b := range oldRep.Benchmarks {
+		olds[benchKey(b)] = b
+		stripped[strippedKey(b)] = append(stripped[strippedKey(b)], benchKey(b))
+	}
+	match := func(b Benchmark) (string, bool) {
+		if _, ok := olds[benchKey(b)]; ok {
+			return benchKey(b), true
+		}
+		if cands := stripped[strippedKey(b)]; len(cands) == 1 {
+			if _, ok := olds[cands[0]]; ok {
+				return cands[0], true
+			}
+		}
+		return "", false
+	}
+	type row struct {
+		b         Benchmark
+		oldNs     float64
+		delta     float64
+		regressed bool
+	}
+	var rows []row
+	added := 0
+	for _, b := range newRep.Benchmarks {
+		oldKey, ok := match(b)
+		if !ok {
+			added++
+			continue
+		}
+		o := olds[oldKey]
+		delete(olds, oldKey)
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		delta := b.NsPerOp/o.NsPerOp - 1
+		rows = append(rows, row{b: b, oldNs: o.NsPerOp, delta: delta, regressed: delta > threshold})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].delta > rows[j].delta })
+
+	regressed := 0
+	for _, r := range rows {
+		mark := ""
+		if r.regressed {
+			regressed++
+			mark = fmt.Sprintf("  REGRESSED (> +%.1f%%)", threshold*100)
+		}
+		fmt.Fprintf(w, "%-48s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n",
+			r.b.Name+" ("+r.b.Pkg+")", r.oldNs, r.b.NsPerOp, r.delta*100, mark)
+	}
+	if len(rows) == 0 && len(oldRep.Benchmarks) > 0 && len(newRep.Benchmarks) > 0 {
+		fmt.Fprintf(w, "warning: no shared benchmarks between the artifacts — the comparison checked nothing\n")
+	}
+	fmt.Fprintf(w, "%d of %d shared benchmarks regressed past +%.1f%% (%d added, %d vanished)\n",
+		regressed, len(rows), threshold*100, added, len(olds))
+	return regressed
 }
 
 // run parses bench output from r and writes the JSON report to w.

@@ -2,6 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -74,5 +77,143 @@ func TestParseEmptyAndNoise(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `"benchmarks": []`) {
 		t.Fatalf("empty report must keep an empty array, got:\n%s", sb.String())
+	}
+}
+
+// writeArtifact marshals a report to a temp file.
+func writeArtifact(t *testing.T, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Pkg: pkg, Iterations: 1, NsPerOp: ns}
+}
+
+// TestCompareFlagsRegressions asserts the compare mode's gate: a
+// shared benchmark past the threshold counts, movement within it and
+// unmatched benchmarks do not, and improvements never gate.
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("repro/internal/vtime", "BenchmarkPingPongSync-8", 200),
+		bench("repro/internal/vtime", "BenchmarkBarrierWakeAll-8", 1000),
+		bench("repro", "BenchmarkVanished-8", 50),
+	}})
+	newPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("repro/internal/vtime", "BenchmarkPingPongSync-8", 250),   // +25%: regressed
+		bench("repro/internal/vtime", "BenchmarkBarrierWakeAll-8", 900), // -10%: improved
+		bench("repro", "BenchmarkAdded-8", 75),
+	}})
+
+	var out strings.Builder
+	regressed, err := runCompare(&out, []string{"-threshold", "0.10", oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", regressed, out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkPingPongSync-8", "REGRESSED",
+		"1 of 2 shared benchmarks regressed past +10.0% (1 added, 1 vanished)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A looser threshold admits the same movement; flags may trail.
+	out.Reset()
+	regressed, err = runCompare(&out, []string{oldPath, newPath, "-threshold", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 0 {
+		t.Fatalf("0.5 threshold flagged %d regressions:\n%s", regressed, out.String())
+	}
+}
+
+// TestCompareUsage asserts malformed invocations error instead of
+// silently passing CI.
+func TestCompareUsage(t *testing.T) {
+	good := writeArtifact(t, &Report{Benchmarks: []Benchmark{bench("p", "B-8", 1)}})
+	for _, args := range [][]string{
+		{},
+		{good},
+		{good, good, "extra"},
+		{"-threshold", "-1", good, good},
+		{good, filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		if _, err := runCompare(io.Discard, args); err == nil {
+			t.Errorf("args %q accepted", args)
+		}
+	}
+}
+
+// TestCompareAcrossCoreCounts asserts the GOMAXPROCS suffix does not
+// partition the comparison: a baseline from a 4-core runner still
+// gates a run from an 8-core one.
+func TestCompareAcrossCoreCounts(t *testing.T) {
+	oldPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("repro/internal/vtime", "BenchmarkPingPongSync-4", 200),
+	}})
+	newPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("repro/internal/vtime", "BenchmarkPingPongSync-8", 300),
+	}})
+	var out strings.Builder
+	regressed, err := runCompare(&out, []string{oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Fatalf("suffix mismatch hid the regression:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "no shared benchmarks") {
+		t.Fatalf("spurious no-overlap warning:\n%s", out.String())
+	}
+
+	// Genuinely disjoint artifacts warn instead of passing silently.
+	disjoint := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("repro", "BenchmarkOther-8", 100),
+	}})
+	out.Reset()
+	if _, err := runCompare(&out, []string{oldPath, disjoint}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no shared benchmarks") {
+		t.Fatalf("disjoint artifacts compared without a warning:\n%s", out.String())
+	}
+}
+
+// TestCompareExactNameBeatsStripping asserts the suffix fallback
+// never conflates benchmarks whose own names end in digits: exact
+// matches win, and an ambiguous stripped key is left unmatched.
+func TestCompareExactNameBeatsStripping(t *testing.T) {
+	oldPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkSweep/n-100", 100),
+		bench("p", "BenchmarkSweep/n-200", 200),
+	}})
+	newPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkSweep/n-100", 500), // 5×: must gate against its own baseline
+		bench("p", "BenchmarkSweep/n-200", 200),
+	}})
+	var out strings.Builder
+	regressed, err := runCompare(&out, []string{oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Fatalf("exact-name matching failed (%d regressions):\n%s", regressed, out.String())
+	}
+	if !strings.Contains(out.String(), "2 shared benchmarks") {
+		t.Fatalf("digit-suffixed names conflated:\n%s", out.String())
 	}
 }

@@ -2,10 +2,13 @@
 //
 // Usage:
 //
-//	hpcstudy [-quick] [-csv] [-v] [-parallel N] [-cache-dir DIR [-shard k/N]] <study>
-//	hpcstudy -cache-dir DIR [flags] merge <study>
+//	hpcstudy [-quick] [-csv] [-v] [-parallel N] [store flags] [merge] <study>
+//	hpcstudy serve -cache-dir DIR -listen ADDR [-gc-interval DUR -max-bytes N -max-age DUR]
+//	hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]
 //
-// where <study> is fig1|fig2|fig3|solutions|portability|iostudy|all.
+// where <study> is fig1|fig2|fig3|solutions|portability|iostudy|all
+// and the store flags are -cache-dir DIR, -cache-url URL (either or
+// both) plus -shard k/N.
 //
 // Without -quick every experiment runs at paper scale; fig3's 256-node
 // point simulates 12,288 MPI ranks and takes several minutes of wall
@@ -17,26 +20,39 @@
 // -cache-dir attaches a persistent result store: cells already in the
 // store are replayed instead of simulated, and fresh cells are
 // committed, so a rerun is byte-identical to the first run while
-// simulating nothing. -shard k/N restricts one invocation to a
-// deterministic 1-of-N slice of the cells, so N processes or machines
-// populate one shared store without coordination; the merge verb then
-// assembles the complete figure purely from the store, failing with
-// the list of missing cell keys if any shard has not finished.
+// simulating nothing. -cache-url points at a result registry
+// (`hpcstudy serve`) instead, so machines with no shared filesystem
+// meet in one store; given both flags, the directory becomes a local
+// read-through cache in front of the registry. -shard k/N restricts
+// one invocation to a deterministic 1-of-N slice of the cells, so N
+// processes or machines populate one shared store without
+// coordination; the merge verb then assembles the complete figure
+// purely from the store, failing with the list of missing cell keys
+// if any shard has not finished.
+//
+// serve exposes a store directory as a result registry over HTTP and
+// shuts down gracefully on SIGINT/SIGTERM, committing in-flight PUTs.
+// With -gc-interval it also garbage-collects the store periodically
+// under the -max-bytes/-max-age policy; the gc verb runs one such
+// pass directly.
 //
 // -v appends per-study observability lines: how cells were produced
-// (simulated, replayed, failures replayed) and the vtime kernel's
-// scheduling counters (switches, ping-pong fast-slot hits, Sync
-// fast-path hits, heap operations, wakes), so scheduling-path perf
-// regressions show up in CI logs instead of silently inflating wall
-// time.
+// (simulated, replayed, failures replayed), the store traffic (hits,
+// misses, puts), and the vtime kernel's scheduling counters
+// (switches, ping-pong fast-slot hits, Sync fast-path hits, heap
+// operations, wakes), so scheduling-path and cache regressions show
+// up in CI logs instead of silently inflating wall time.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	containerhpc "repro"
@@ -52,40 +68,83 @@ var (
 	quickFig3Nodes = []int{4, 8, 16, 32, 64}
 )
 
-// cliConfig carries every flag behind the study argument.
+// cliConfig carries every flag behind the verb and study arguments.
 type cliConfig struct {
 	quick, csv bool
 	verbose    bool // -v: per-study cache and kernel counters
 	parallel   int
 	cacheDir   string
+	cacheURL   string // result registry base URL
 	shard      string // "k/N", empty = no sharding
 	merge      bool   // assemble purely from the store
+	listen     string // serve: bind address
+	gcInterval time.Duration
+	maxBytes   int64
+	maxAge     time.Duration
 }
 
 func main() {
 	var cfg cliConfig
 	flag.BoolVar(&cfg.quick, "quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of tables")
-	flag.BoolVar(&cfg.verbose, "v", false, "report per-study cache and vtime kernel counters")
+	flag.BoolVar(&cfg.verbose, "v", false, "report per-study cache, store, and vtime kernel counters")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result store directory (replay hits, commit misses)")
-	flag.StringVar(&cfg.shard, "shard", "", "compute only slice k/N of the cells into -cache-dir")
+	flag.StringVar(&cfg.cacheURL, "cache-url", "", "result registry URL; with -cache-dir, the directory becomes a local read-through cache")
+	flag.StringVar(&cfg.shard, "shard", "", "compute only slice k/N of the cells into the store")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8420", "serve: address to expose the registry on")
+	flag.DurationVar(&cfg.gcInterval, "gc-interval", 0, "serve: garbage-collect the store every interval (0 = never)")
+	flag.Int64Var(&cfg.maxBytes, "max-bytes", 0, "gc/serve: evict least-recently-used records past this total size (0 = unbounded)")
+	flag.DurationVar(&cfg.maxAge, "max-age", 0, "gc/serve: evict records not accessed within this duration (0 = unbounded)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpcstudy [-quick] [-csv] [-v] [-parallel N] [-cache-dir DIR [-shard k/N]] [merge] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n")
+			"usage: hpcstudy [-quick] [-csv] [-v] [-parallel N] [-cache-dir DIR] [-cache-url URL] [-shard k/N] [merge] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n"+
+				"       hpcstudy serve -cache-dir DIR [-listen ADDR] [-gc-interval DUR -max-bytes N -max-age DUR]\n"+
+				"       hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]\n")
 		flag.PrintDefaults()
 	}
-	flag.Parse()
-	args := flag.Args()
-	if len(args) > 0 && args[0] == "merge" {
-		cfg.merge = true
-		args = args[1:]
+
+	// Verbs read naturally before their flags (`hpcstudy serve -cache-dir …`);
+	// merge keeps its legacy flags-first position too.
+	args := os.Args[1:]
+	verb := ""
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve", "gc", "merge":
+			verb, args = args[0], args[1:]
+		}
 	}
-	if len(args) != 1 {
-		flag.Usage()
-		os.Exit(2)
+	flag.CommandLine.Parse(args)
+	rest := flag.Args()
+	if verb == "" && len(rest) > 0 && rest[0] == "merge" {
+		verb, rest = "merge", rest[1:]
 	}
-	if err := runStudy(os.Stdout, args[0], cfg); err != nil {
+
+	var err error
+	switch verb {
+	case "serve":
+		if len(rest) != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = runServe(ctx, os.Stdout, cfg)
+		stop()
+	case "gc":
+		if len(rest) != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = runGC(os.Stdout, cfg)
+	default:
+		if len(rest) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		cfg.merge = verb == "merge"
+		err = runStudy(os.Stdout, rest[0], cfg)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpcstudy: %v\n", err)
 		var ue usageError
 		var se unknownStudyError
@@ -95,6 +154,85 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// openStore assembles the configured store: a directory, a registry
+// client, or — with both flags — a tiered combination where the
+// directory caches registry reads. Nil when no store is configured.
+func openStore(cfg cliConfig) (containerhpc.Store, error) {
+	switch {
+	case cfg.cacheDir != "" && cfg.cacheURL != "":
+		local, err := containerhpc.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		remote, err := containerhpc.DialStore(cfg.cacheURL)
+		if err != nil {
+			local.Close()
+			return nil, err
+		}
+		return containerhpc.NewTieredStore(local, remote), nil
+	case cfg.cacheDir != "":
+		store, err := containerhpc.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		return store, nil
+	case cfg.cacheURL != "":
+		return containerhpc.DialStore(cfg.cacheURL)
+	}
+	return nil, nil
+}
+
+// runServe exposes -cache-dir as a result registry until ctx is
+// cancelled (the CLI wires SIGINT/SIGTERM), then shuts down
+// gracefully with in-flight PUTs committed.
+func runServe(ctx context.Context, w io.Writer, cfg cliConfig) error {
+	if cfg.cacheDir == "" {
+		return usageError("serve needs -cache-dir: the registry serves a directory store")
+	}
+	if cfg.cacheURL != "" {
+		return usageError("serve exposes -cache-dir; it cannot chain to another registry via -cache-url")
+	}
+	gcPolicy := containerhpc.GCPolicy{MaxBytes: cfg.maxBytes, MaxAge: cfg.maxAge}
+	if cfg.gcInterval > 0 && !gcPolicy.Bounded() {
+		return usageError("-gc-interval needs a bound: -max-bytes and/or -max-age (an unbounded policy collects nothing)")
+	}
+	store, err := containerhpc.OpenStore(cfg.cacheDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	srv := containerhpc.NewRegistryServer(store, containerhpc.RegistryServerOptions{
+		GCInterval: cfg.gcInterval,
+		GC:         gcPolicy,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	return srv.ListenAndServe(ctx, cfg.listen)
+}
+
+// runGC runs one eviction pass over -cache-dir.
+func runGC(w io.Writer, cfg cliConfig) error {
+	if cfg.cacheDir == "" {
+		return usageError("gc needs -cache-dir: it collects a directory store")
+	}
+	pol := containerhpc.GCPolicy{MaxBytes: cfg.maxBytes, MaxAge: cfg.maxAge}
+	if !pol.Bounded() {
+		return usageError("gc needs a bound: -max-bytes and/or -max-age")
+	}
+	store, err := containerhpc.OpenStore(cfg.cacheDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	rep, err := store.GC(time.Now(), pol)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n", rep)
+	return nil
 }
 
 // usageError reports CLI misuse (invalid flag value or combination);
@@ -116,8 +254,8 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 	}
 	var shard containerhpc.Shard
 	if cfg.shard != "" {
-		if cfg.cacheDir == "" {
-			return usageError("-shard needs -cache-dir: shards meet in a shared result store")
+		if cfg.cacheDir == "" && cfg.cacheURL == "" {
+			return usageError("-shard needs -cache-dir or -cache-url: shards meet in a shared result store")
 		}
 		if cfg.merge {
 			return usageError("merge assembles from the store; it cannot be sharded")
@@ -127,17 +265,17 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 			return usageError(err.Error())
 		}
 	}
-	if cfg.merge && cfg.cacheDir == "" {
-		return usageError("merge needs -cache-dir: it assembles figures from a populated store")
+	if cfg.merge && cfg.cacheDir == "" && cfg.cacheURL == "" {
+		return usageError("merge needs -cache-dir or -cache-url: it assembles figures from a populated store")
 	}
 
 	stats := &containerhpc.SweepStats{}
 	opt := containerhpc.Options{Parallelism: cfg.parallel, Stats: stats}
-	if cfg.cacheDir != "" {
-		store, err := containerhpc.OpenStore(cfg.cacheDir)
-		if err != nil {
-			return err
-		}
+	store, err := openStore(cfg)
+	if err != nil {
+		return err
+	}
+	if store != nil {
 		defer store.Close()
 		opt.Store, opt.Shard, opt.FromStore = store, shard, cfg.merge
 	}
@@ -154,6 +292,10 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 		start := time.Now()
 		hits0, comp0, neg0 := stats.Hits.Load(), stats.Computed.Load(), stats.NegHits.Load()
 		kern0 := stats.Kernel()
+		var st0 containerhpc.StoreStats
+		if opt.Store != nil {
+			st0 = opt.Store.Stats()
+		}
 		verbose := func() {
 			if !cfg.verbose {
 				return
@@ -161,6 +303,15 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 			k := stats.Kernel().Sub(kern0)
 			fmt.Fprintf(w, "  %s cells: %d simulated, %d replayed, %d failures replayed\n",
 				name, stats.Computed.Load()-comp0, stats.Hits.Load()-hits0, stats.NegHits.Load()-neg0)
+			if opt.Store != nil {
+				// The store's own traffic, not the sweep's view of it:
+				// against a registry these are network operations, and
+				// retries flag a flaky link.
+				st := opt.Store.Stats()
+				fmt.Fprintf(w, "  %s store: %d hits, %d misses, %d puts, %d failure records, %d negative hits, %d retries\n",
+					name, st.Hits-st0.Hits, st.Misses()-st0.Misses(), st.Puts-st0.Puts,
+					st.PutErrors-st0.PutErrors, st.NegHits-st0.NegHits, st.Retries-st0.Retries)
+			}
 			fmt.Fprintf(w, "  %s kernel: %d switches (%d ping-pong), %d sync fast-path, %d heap ops, %d wakes (%d batched flushes)\n",
 				name, k.Switches, k.PingPong, k.SyncFast, k.HeapOps, k.Wakes, k.WakeBatches)
 		}

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
 	"errors"
+	"io"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // shrinkQuick trims the -quick node points to test size and restores
@@ -207,5 +211,175 @@ func TestVerboseKernelCounters(t *testing.T) {
 	// A cold fig2 simulates cells, so the kernel counters must be live.
 	if strings.Contains(out, "kernel: 0 switches") {
 		t.Fatalf("-v reports zero switches after a cold sweep:\n%s", out)
+	}
+}
+
+// syncWriter is a Builder safe to share between the serve goroutine's
+// log callbacks and the test's polling.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// startServe runs the serve verb on an ephemeral port and returns the
+// registry URL plus a stop function that asserts a clean shutdown.
+func startServe(t *testing.T, cfg cliConfig) (string, func()) {
+	t.Helper()
+	cfg.listen = "127.0.0.1:0"
+	ctx, cancel := context.WithCancel(context.Background())
+	logw := &syncWriter{}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- runServe(ctx, logw, cfg) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out := logw.String()
+		if _, rest, ok := strings.Cut(out, "listening on "); ok {
+			addr, _, _ := strings.Cut(rest, " ")
+			return "http://" + addr, func() {
+				cancel()
+				if err := <-serveErr; err != nil {
+					t.Errorf("serve did not shut down cleanly: %v", err)
+				}
+			}
+		}
+		select {
+		case err := <-serveErr:
+			t.Fatalf("serve exited early: %v (log: %s)", err, logw.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never reported its address: %s", logw.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeSweepMerge is the CLI's distributed workflow: a sweep
+// against `hpcstudy serve` via -cache-url renders identically to a
+// local run, a warm rerun simulates zero cells, and a merge with
+// nothing but the URL reproduces the figure. SIGINT-style shutdown is
+// exercised through the serve context.
+func TestServeSweepMerge(t *testing.T) {
+	shrinkQuick(t)
+	url, stop := startServe(t, cliConfig{cacheDir: filepath.Join(t.TempDir(), "central")})
+	defer stop()
+
+	var ref strings.Builder
+	if err := runStudy(&ref, "fig2", cliConfig{quick: true, parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var cold strings.Builder
+	if err := runStudy(&cold, "fig2", cliConfig{quick: true, parallel: 2, cacheURL: url}); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(cold.String()) != stripTimings(ref.String()) {
+		t.Fatalf("registry-backed run differs from local:\n--- local ---\n%s\n--- registry ---\n%s",
+			ref.String(), cold.String())
+	}
+
+	var warm strings.Builder
+	if err := runStudy(&warm, "fig2", cliConfig{quick: true, parallel: 2, verbose: true, cacheURL: url}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "fig2 cells: 0 simulated") {
+		t.Fatalf("warm registry rerun simulated cells:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "fig2 store:") {
+		t.Fatalf("-v output misses the store counters:\n%s", warm.String())
+	}
+
+	// merge with URL only; then the tiered configuration (scratch dir
+	// + URL) for good measure.
+	var merged strings.Builder
+	if err := runStudy(&merged, "fig2", cliConfig{quick: true, parallel: 2, cacheURL: url, merge: true}); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(merged.String()) != stripTimings(ref.String()) {
+		t.Fatal("merge via -cache-url differs from the local run")
+	}
+	var tiered strings.Builder
+	err := runStudy(&tiered, "fig2", cliConfig{
+		quick: true, parallel: 2, merge: true,
+		cacheDir: filepath.Join(t.TempDir(), "scratch"), cacheURL: url,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(tiered.String()) != stripTimings(ref.String()) {
+		t.Fatal("tiered merge differs from the local run")
+	}
+}
+
+// TestServeUsage asserts the serve verb's flag contracts.
+func TestServeUsage(t *testing.T) {
+	var ue usageError
+	if err := runServe(context.Background(), io.Discard, cliConfig{}); !errors.As(err, &ue) {
+		t.Fatalf("serve without -cache-dir: %v", err)
+	}
+	err := runServe(context.Background(), io.Discard, cliConfig{cacheDir: "x", cacheURL: "http://y"})
+	if !errors.As(err, &ue) {
+		t.Fatalf("serve with -cache-url: %v", err)
+	}
+	// -gc-interval without a bound would collect nothing, silently.
+	err = runServe(context.Background(), io.Discard, cliConfig{cacheDir: "x", gcInterval: time.Hour})
+	if !errors.As(err, &ue) {
+		t.Fatalf("serve with unbounded -gc-interval: %v", err)
+	}
+}
+
+// TestGCVerb asserts the gc verb: it demands a bound, reports a pass
+// over fresh records without evicting them, and an aggressive size
+// bound empties the store so a merge afterwards names missing cells.
+func TestGCVerb(t *testing.T) {
+	shrinkQuick(t)
+	dir := filepath.Join(t.TempDir(), "cells")
+	if err := runStudy(io.Discard, "fig2", cliConfig{quick: true, parallel: 2, cacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	var ue usageError
+	if err := runGC(io.Discard, cliConfig{cacheDir: dir}); !errors.As(err, &ue) {
+		t.Fatal("gc without bounds accepted")
+	}
+	if err := runGC(io.Discard, cliConfig{maxBytes: 1}); !errors.As(err, &ue) {
+		t.Fatal("gc without -cache-dir accepted")
+	}
+
+	var within strings.Builder
+	if err := runGC(&within, cliConfig{cacheDir: dir, maxAge: 24 * time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(within.String(), "0 evicted") {
+		t.Fatalf("in-bounds gc evicted records: %s", within.String())
+	}
+	// In-bounds GC must not break a later merge.
+	if err := runStudy(io.Discard, "fig2", cliConfig{quick: true, cacheDir: dir, merge: true}); err != nil {
+		t.Fatalf("merge after in-bounds gc: %v", err)
+	}
+
+	var aggressive strings.Builder
+	if err := runGC(&aggressive, cliConfig{cacheDir: dir, maxBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(aggressive.String(), " 0 evicted") {
+		t.Fatalf("aggressive gc evicted nothing: %s", aggressive.String())
+	}
+	err := runStudy(io.Discard, "fig2", cliConfig{quick: true, cacheDir: dir, merge: true})
+	if err == nil || !strings.Contains(err.Error(), "not in the result store") {
+		t.Fatalf("merge after eviction: %v", err)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mesh"
 	"repro/internal/mpi"
+	"repro/internal/registry"
 	"repro/internal/resultdb"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -83,8 +84,29 @@ type (
 	Options = experiments.Options
 	// Mesh is a structured artery mesh.
 	Mesh = mesh.Mesh
-	// Store is a persistent, content-addressed cache of cell results.
+	// Store is the pluggable result-store contract: a
+	// content-addressed cache of cell results that a directory, a
+	// network registry client, or a tiered combination can back.
 	Store = resultdb.Store
+	// DirStore is the directory-backed Store implementation.
+	DirStore = resultdb.DirStore
+	// StoreStats snapshots one store's traffic counters.
+	StoreStats = resultdb.StoreStats
+	// GCPolicy bounds a store directory by size and age; GCReport
+	// summarises one collection pass.
+	GCPolicy = resultdb.GCPolicy
+	GCReport = resultdb.GCReport
+	// RegistryServer serves a DirStore over the result-registry wire
+	// protocol; RegistryServerOptions tunes GC and shutdown.
+	RegistryServer        = registry.Server
+	RegistryServerOptions = registry.ServerOptions
+	// RegistryClient is the Store implementation speaking to a
+	// registry URL; RegistryClientOptions tunes retries and transport.
+	RegistryClient        = registry.Client
+	RegistryClientOptions = registry.ClientOptions
+	// SchemaMismatchError reports a registry built from different
+	// model constants than this binary.
+	SchemaMismatchError = registry.SchemaMismatchError
 	// Shard is a deterministic 1-of-N partition of a sweep's cells.
 	Shard = resultdb.Shard
 	// SweepStats counts how a sweep's cells were produced (replayed
@@ -108,11 +130,39 @@ type (
 // whenever a model number changes.
 func ModelChecksum() string { return core.ModelChecksum() }
 
-// OpenStore opens (creating if needed) a persistent result store.
-// Attach it via Options.Store: sweeps then replay cached cells and
-// commit fresh ones, so a warm rerun of any figure is byte-identical
-// to the cold run while simulating nothing.
-func OpenStore(dir string) (*Store, error) { return resultdb.Open(dir) }
+// OpenStore opens (creating if needed) a persistent directory result
+// store. Attach it via Options.Store: sweeps then replay cached cells
+// and commit fresh ones, so a warm rerun of any figure is
+// byte-identical to the cold run while simulating nothing.
+func OpenStore(dir string) (*DirStore, error) { return resultdb.Open(dir) }
+
+// DialStore connects to a result registry (`hpcstudy serve`) and
+// performs the schema handshake; a registry built from different
+// model constants fails with *SchemaMismatchError before any record
+// is exchanged. The client implements Store, so sweeps and merges
+// against a URL behave exactly as against a local directory.
+func DialStore(url string) (*RegistryClient, error) {
+	return registry.Dial(url, registry.ClientOptions{})
+}
+
+// NewTieredStore layers a local Store (usually a directory) in front
+// of a remote one (usually a registry client): lookups hit the local
+// tier first and read remote hits through into it; commits write
+// remote first, then local. Close closes both tiers.
+func NewTieredStore(local, remote Store) Store { return registry.NewTiered(local, remote) }
+
+// NewRegistryServer wraps a directory store in the result-registry
+// wire protocol. Run it with ListenAndServe (or Serve on an existing
+// listener); cancel the context for a graceful shutdown that commits
+// in-flight PUTs.
+func NewRegistryServer(store *DirStore, opt RegistryServerOptions) *RegistryServer {
+	return registry.NewServer(store, opt)
+}
+
+// SchemaVersion is the record schema stamp this binary reads and
+// writes: record-format generation + model-constant checksum. A
+// registry serves it on GET /v1/schema.
+func SchemaVersion() string { return resultdb.SchemaVersion() }
 
 // ParseShard parses the "k/N" shard notation (1 ≤ k ≤ N). Set the
 // result on Options.Shard so N cooperating invocations each compute a

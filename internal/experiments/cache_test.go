@@ -13,7 +13,7 @@ import (
 )
 
 // fig3Opt builds a small fig3 configuration against a store.
-func fig3Opt(store *resultdb.Store, stats *SweepStats) Options {
+func fig3Opt(store resultdb.Store, stats *SweepStats) Options {
 	return Options{
 		Parallelism: 4,
 		Case:        tinyCase(alya.ArteryFSIMareNostrum4()),

@@ -39,8 +39,10 @@ type Options struct {
 	// Store, when non-nil, caches cell results persistently: the sweep
 	// consults it before simulating and commits after. Results do not
 	// depend on it either — restored cells land in the same
-	// input-order slots a cold run fills.
-	Store *resultdb.Store
+	// input-order slots a cold run fills. Any resultdb.Store works: a
+	// local directory, a network registry client, or a tiered
+	// combination.
+	Store resultdb.Store
 	// Shard restricts the sweep to a deterministic 1-of-N slice of the
 	// enumerated cells, so N processes or machines populate one shared
 	// Store without coordination. Requires Store; cells outside the

@@ -77,7 +77,7 @@ func (sp CellSpec) Key() (string, error) { return sp.id().Fingerprint() }
 // through *MissingCellsError.
 type Sweep struct {
 	workers   int
-	store     *resultdb.Store
+	store     resultdb.Store
 	shard     resultdb.Shard
 	fromStore bool
 	stats     *SweepStats
@@ -98,6 +98,14 @@ type SweepStats struct {
 	// NegHits counts cells whose recorded failure was replayed from
 	// the store instead of re-simulating a known-bad configuration.
 	NegHits atomic.Int64
+	// Misses counts store lookups that found nothing — the cells a
+	// populate sweep went on to simulate (or leave to other shards).
+	Misses atomic.Int64
+	// Puts counts results committed to the store; PutErrs failure
+	// records committed. These are the sweep's own view — the CLI's
+	// -v store line prints Store.Stats() instead, which can differ
+	// (a tiered store also counts read-through populates).
+	Puts, PutErrs atomic.Int64
 
 	// Kernel scheduling counters, summed across simulated cells (see
 	// vtime.Counters for field meanings).
@@ -345,35 +353,60 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 		}
 		keys[i] = k
 	}
+	// Pin the whole working set for the duration of the run, so an
+	// in-process GC never evicts a cell between its lookup and its
+	// use. Pins don't cross the wire: a remote registry's server-side
+	// GC relies on access recency instead (see resultdb.Pinner).
+	if p, ok := s.store.(resultdb.Pinner); ok {
+		defer p.Pin(keys)()
+	}
 
 	// Consult the store first; hits restore into their input-order
 	// slots, and a recorded failure replays without re-simulating the
 	// known-bad cell — distinctly from missing cells, which surface as
-	// *MissingCellsError. What remains is split into cells this
+	// *MissingCellsError. A lookup error is neither: the store itself
+	// (a registry that is down, a schema conflict) failed, and the
+	// sweep fails with it rather than recomputing the world. Lookups
+	// fan out over the worker pool — against a registry each one is a
+	// network round trip, and a warm merge is nothing but this loop —
+	// while the error reported stays the lowest-index one, exactly as
+	// in a serial consultation. What remains is split into cells this
 	// invocation computes and cells it must leave to other shards (or,
 	// under FromStore, to nobody).
+	hit := make([]bool, len(specs))
+	err := s.each(len(specs), s.workers, func(i int) error {
+		ent, ok, err := s.store.Lookup(keys[i])
+		if err != nil {
+			return &CellError{Label: specs[i].Label, Err: err}
+		}
+		if !ok {
+			s.stats.Misses.Add(1)
+			return nil
+		}
+		if ent.Err != "" {
+			s.stats.NegHits.Add(1)
+			return &CellError{Label: specs[i].Label, Err: &resultdb.RecordedError{Key: keys[i], Msg: ent.Err}}
+		}
+		cell, err := s.cellFor(specs[i])
+		if err != nil {
+			return &CellError{Label: specs[i].Label, Err: err}
+		}
+		results[i] = ent.Result.Restore(cell)
+		s.stats.Hits.Add(1)
+		hit[i] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var torun, missing []int
 	for i := range specs {
-		if ent, ok := s.store.Lookup(keys[i]); ok {
-			if ent.Err != "" {
-				s.stats.NegHits.Add(1)
-				return nil, &CellError{Label: specs[i].Label, Err: &resultdb.RecordedError{Key: keys[i], Msg: ent.Err}}
-			}
-			cell, err := s.cellFor(specs[i])
-			if err != nil {
-				return nil, &CellError{Label: specs[i].Label, Err: err}
-			}
-			results[i] = ent.Result.Restore(cell)
-			s.stats.Hits.Add(1)
-			continue
-		}
 		switch {
-		case s.fromStore:
+		case hit[i]:
+		case s.fromStore, !s.shard.Owns(keys[i]):
 			missing = append(missing, i)
-		case s.shard.Owns(keys[i]):
-			torun = append(torun, i)
 		default:
-			missing = append(missing, i)
+			torun = append(torun, i)
 		}
 	}
 
@@ -381,7 +414,7 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 	for j, i := range torun {
 		sub[j] = specs[i]
 	}
-	err := s.each(len(torun), s.workersFor(sub), func(j int) error {
+	err = s.each(len(torun), s.workersFor(sub), func(j int) error {
 		i := torun[j]
 		res, err := s.runSpec(specs[i])
 		if err != nil {
@@ -389,12 +422,15 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 			// failure is deterministic: record it so repeated sweeps
 			// skip the known-bad cell. A store error must not mask the
 			// cell failure, which still surfaces either way.
-			_ = s.store.PutError(keys[i], err.Error())
+			if s.store.PutError(keys[i], err.Error()) == nil {
+				s.stats.PutErrs.Add(1)
+			}
 			return &CellError{Label: specs[i].Label, Err: err}
 		}
 		if err := s.store.Put(keys[i], res.Saved()); err != nil {
 			return &CellError{Label: specs[i].Label, Err: err}
 		}
+		s.stats.Puts.Add(1)
 		results[i] = res
 		return nil
 	})
@@ -431,7 +467,14 @@ func (s *Sweep) RunOne(sp CellSpec) (core.Result, error) {
 	if err != nil {
 		return core.Result{}, err
 	}
-	if ent, ok := s.store.Lookup(key); ok {
+	if p, ok := s.store.(resultdb.Pinner); ok {
+		defer p.Pin([]string{key})()
+	}
+	ent, ok, err := s.store.Lookup(key)
+	if err != nil {
+		return core.Result{}, &CellError{Label: sp.Label, Err: err}
+	}
+	if ok {
 		if ent.Err != "" {
 			s.stats.NegHits.Add(1)
 			return core.Result{}, &CellError{Label: sp.Label, Err: &resultdb.RecordedError{Key: key, Msg: ent.Err}}
@@ -443,17 +486,21 @@ func (s *Sweep) RunOne(sp CellSpec) (core.Result, error) {
 		s.stats.Hits.Add(1)
 		return ent.Result.Restore(cell), nil
 	}
+	s.stats.Misses.Add(1)
 	if s.fromStore || !s.shard.Owns(key) {
 		return core.Result{}, &MissingCellsError{Cells: []MissingCell{{Label: sp.Label, Key: key}}}
 	}
 	res, err := s.runSpec(sp)
 	if err != nil {
-		_ = s.store.PutError(key, err.Error())
+		if s.store.PutError(key, err.Error()) == nil {
+			s.stats.PutErrs.Add(1)
+		}
 		return core.Result{}, err
 	}
 	if err := s.store.Put(key, res.Saved()); err != nil {
 		return core.Result{}, err
 	}
+	s.stats.Puts.Add(1)
 	return res, nil
 }
 

@@ -1,0 +1,284 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resultdb"
+)
+
+// ClientOptions tunes a registry client.
+type ClientOptions struct {
+	// HTTPClient overrides the transport (httptest servers, custom
+	// timeouts). Default: a client with a 30s request timeout.
+	HTTPClient *http.Client
+	// Retries is the number of extra attempts after the first on
+	// transient failures (connection errors, 5xx, 429, 408).
+	// Default 3; negative disables retrying.
+	Retries int
+	// Backoff is the delay before the first retry, doubling each
+	// attempt. Default 100ms.
+	Backoff time.Duration
+}
+
+// Client speaks the wire protocol and implements resultdb.Store, so a
+// sweep or merge pointed at a registry URL behaves exactly as one
+// pointed at a local directory — including the damage semantics: an
+// undecodable record costs one recomputation, never a failed sweep.
+// Transport failures, by contrast, surface as errors after retries;
+// a merge must distinguish "the registry is down" from "the cell was
+// never computed".
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+
+	lookups, hits, negHits, puts, putErrors, retried atomic.Int64
+}
+
+var _ resultdb.Store = (*Client)(nil)
+
+// Dial validates the base URL and performs the schema handshake:
+// one GET /v1/schema, retried like any transient failure. A server
+// built from different model constants (or record format) fails with
+// *SchemaMismatchError before any record is exchanged.
+func Dial(baseURL string, opt ClientOptions) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("registry: url %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("registry: url %q: need http(s)://host[:port]", baseURL)
+	}
+	hc := opt.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	retries := opt.Retries
+	if retries == 0 {
+		retries = 3
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := opt.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	c := &Client{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      hc,
+		retries: retries,
+		backoff: backoff,
+	}
+	status, data, err := c.do(http.MethodGet, "/v1/schema", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("registry: %s is not a registry (GET /v1/schema: HTTP %d)", c.base, status)
+	}
+	var ws wireSchema
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("registry: %s is not a registry (GET /v1/schema: %v)", c.base, err)
+	}
+	if ws.Schema != resultdb.SchemaVersion() {
+		return nil, &SchemaMismatchError{Client: resultdb.SchemaVersion(), Server: ws.Schema}
+	}
+	return c, nil
+}
+
+// transientStatus reports statuses worth retrying: the server (or a
+// proxy) may recover; 4xx contract errors will not.
+func transientStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests || status == http.StatusRequestTimeout
+}
+
+// do performs one request with retry-with-backoff on transport errors
+// and transient statuses, returning the final status and fully-read
+// body. The request body is rebuilt from bytes each attempt, so PUTs
+// retry safely (commits are idempotent: content is a pure function of
+// the key).
+func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, fmt.Errorf("registry: %w", err)
+		}
+		req.Header.Set(headerSchema, resultdb.SchemaVersion())
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
+			resp.Body.Close()
+			if rerr == nil && !transientStatus(resp.StatusCode) {
+				return resp.StatusCode, data, nil
+			}
+			if rerr != nil {
+				lastErr = fmt.Errorf("reading response: %w", rerr)
+			} else {
+				lastErr = fmt.Errorf("HTTP %d", resp.StatusCode)
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt >= c.retries {
+			return 0, nil, fmt.Errorf("registry: %s %s%s: %w (%d attempts)",
+				method, c.base, path, lastErr, attempt+1)
+		}
+		c.retried.Add(1)
+		delay := c.backoff << attempt
+		if delay > maxBackoff || delay <= 0 { // <= 0: shifted past overflow
+			delay = maxBackoff
+		}
+		time.Sleep(delay)
+	}
+}
+
+// maxBackoff caps the doubling retry delay so a generous retry budget
+// waits steadily instead of minutes (or, past an int64 overflow, not
+// at all).
+const maxBackoff = 5 * time.Second
+
+// mismatchFrom decodes a 409 body into the typed error.
+func mismatchFrom(data []byte) error {
+	var we wireError
+	_ = json.Unmarshal(data, &we)
+	return &SchemaMismatchError{Client: resultdb.SchemaVersion(), Server: we.ServerSchema}
+}
+
+// Get returns the saved result for a key, success records only; any
+// failure to produce one — including transport errors — reads as a
+// miss.
+func (c *Client) Get(key string) (core.SavedResult, bool) {
+	return resultdb.GetFrom(c, key)
+}
+
+// Lookup fetches a record by fingerprint. Misses and damaged records
+// return ok=false with a nil error (one recomputation); transport
+// failures and schema conflicts return the error.
+func (c *Client) Lookup(key string) (resultdb.Entry, bool, error) {
+	c.lookups.Add(1)
+	status, data, err := c.do(http.MethodGet, "/v1/cells/"+url.PathEscape(key), nil)
+	if err != nil {
+		return resultdb.Entry{}, false, err
+	}
+	switch status {
+	case http.StatusOK:
+		var rec wireRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return resultdb.Entry{}, false, nil // damaged on the wire: a miss, like a corrupt file
+		}
+		if rec.Key != key || rec.Schema != resultdb.SchemaVersion() {
+			return resultdb.Entry{}, false, nil
+		}
+		if rec.Error != "" {
+			c.negHits.Add(1)
+		} else {
+			c.hits.Add(1)
+		}
+		return resultdb.Entry{Result: rec.Result, Err: rec.Error}, true, nil
+	case http.StatusNotFound:
+		return resultdb.Entry{}, false, nil
+	case http.StatusConflict:
+		return resultdb.Entry{}, false, mismatchFrom(data)
+	default:
+		return resultdb.Entry{}, false, fmt.Errorf("registry: GET %s: HTTP %d", key, status)
+	}
+}
+
+// Put commits a result to the registry.
+func (c *Client) Put(key string, res core.SavedResult) error {
+	if err := c.send(key, wireRecord{Schema: resultdb.SchemaVersion(), Key: key, Result: res}); err != nil {
+		return err
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// PutError commits a failure record; msg must be non-empty, exactly
+// as on the directory store.
+func (c *Client) PutError(key, msg string) error {
+	if msg == "" {
+		return fmt.Errorf("registry: empty failure message for key %s", key)
+	}
+	if err := c.send(key, wireRecord{Schema: resultdb.SchemaVersion(), Key: key, Error: msg}); err != nil {
+		return err
+	}
+	c.putErrors.Add(1)
+	return nil
+}
+
+func (c *Client) send(key string, rec wireRecord) error {
+	if !resultdb.ValidKey(key) {
+		return fmt.Errorf("registry: invalid key %q (want a 64-hex fingerprint)", key)
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	status, data, err := c.do(http.MethodPut, "/v1/cells/"+url.PathEscape(key), body)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusNoContent, http.StatusOK, http.StatusCreated:
+		return nil
+	case http.StatusConflict:
+		return mismatchFrom(data)
+	default:
+		var we wireError
+		if json.Unmarshal(data, &we) == nil && we.Error != "" {
+			return fmt.Errorf("registry: PUT %s: HTTP %d: %s", key, status, we.Error)
+		}
+		return fmt.Errorf("registry: PUT %s: HTTP %d", key, status)
+	}
+}
+
+// Keys fetches the registry manifest. Advisory, like every Keys: on
+// transport failure it returns nil rather than guessing.
+func (c *Client) Keys() []string {
+	status, data, err := c.do(http.MethodGet, "/v1/manifest", nil)
+	if err != nil || status != http.StatusOK {
+		return nil
+	}
+	var m wireManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil
+	}
+	sort.Strings(m.Keys)
+	return m.Keys
+}
+
+// Stats snapshots the client's traffic counters, retries included.
+func (c *Client) Stats() resultdb.StoreStats {
+	return resultdb.StoreStats{
+		Lookups:   c.lookups.Load(),
+		Hits:      c.hits.Load(),
+		NegHits:   c.negHits.Load(),
+		Puts:      c.puts.Load(),
+		PutErrors: c.putErrors.Load(),
+		Retries:   c.retried.Load(),
+	}
+}
+
+// Close releases idle connections. The registry itself keeps running.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// URL returns the registry base URL.
+func (c *Client) URL() string { return c.base }

@@ -1,0 +1,161 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/alya"
+	"repro/internal/experiments"
+	"repro/internal/resultdb"
+)
+
+// fig3Opt is a test-sized Fig3 configuration: 3 runtime variants × 2
+// node points = 6 cells, a few CG iterations each.
+func fig3Opt(store resultdb.Store, stats *experiments.SweepStats) experiments.Options {
+	c := alya.ArteryFSIMareNostrum4()
+	c.SimSteps = 1
+	c.ModelCGIters = 5
+	return experiments.Options{
+		Parallelism: 4,
+		Case:        c,
+		NodePoints:  []int{4, 8},
+		Store:       store,
+		Stats:       stats,
+	}
+}
+
+// render flattens a figure to the bytes the CLI would emit.
+func render(t *testing.T, res *experiments.Fig3Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	res.Render(&buf)
+	res.RenderChart(&buf)
+	return buf.Bytes()
+}
+
+// TestDistributedShardsMergeByteIdentical is the subsystem's
+// acceptance story: two shard "processes" with separate scratch
+// directories, sharing nothing but a registry URL, populate the
+// central store through tiered clients; a merge consumer that has
+// only the URL then assembles output byte-identical to a cold
+// unsharded local run, and a warm rerun simulates zero cells.
+func TestDistributedShardsMergeByteIdentical(t *testing.T) {
+	cold, err := experiments.Fig3(fig3Opt(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, cold)
+
+	central, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	ts := httptest.NewServer(NewServer(central, ServerOptions{}))
+	defer ts.Close()
+
+	totalComputed := int64(0)
+	for k := 1; k <= 2; k++ {
+		remote, err := Dial(ts.URL, ClientOptions{Backoff: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := resultdb.Open(t.TempDir()) // per-machine disk, never shared
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := &experiments.SweepStats{}
+		opt := fig3Opt(NewTiered(scratch, remote), stats)
+		opt.Shard = resultdb.Shard{Index: k, Count: 2}
+		_, err = experiments.Fig3(opt)
+		var miss *experiments.MissingCellsError
+		switch {
+		case err == nil:
+			// This shard owned every cell (possible on small sweeps).
+		case errors.As(err, &miss):
+			if len(miss.Cells) == 0 {
+				t.Fatalf("shard %d: empty missing list", k)
+			}
+		default:
+			t.Fatalf("shard %d: %v", k, err)
+		}
+		totalComputed += stats.Computed.Load()
+		if stats.Puts.Load() != stats.Computed.Load() {
+			t.Fatalf("shard %d: %d computed but %d committed", k, stats.Computed.Load(), stats.Puts.Load())
+		}
+		scratch.Close()
+		remote.Close()
+	}
+	if totalComputed != 6 {
+		t.Fatalf("shards computed %d cells in total, want 6 (disjoint and exhaustive)", totalComputed)
+	}
+	if central.Len() != 6 {
+		t.Fatalf("registry holds %d cells, want 6", central.Len())
+	}
+
+	// The merge consumer has no local state at all: URL only.
+	merge := func() (*experiments.Fig3Result, *experiments.SweepStats, error) {
+		c, err := Dial(ts.URL, ClientOptions{Backoff: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		stats := &experiments.SweepStats{}
+		opt := fig3Opt(c, stats)
+		opt.FromStore = true
+		res, err := experiments.Fig3(opt)
+		return res, stats, err
+	}
+	merged, stats, err := merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Computed.Load(); got != 0 {
+		t.Fatalf("merge simulated %d cells, want 0", got)
+	}
+	if got := render(t, merged); !bytes.Equal(got, want) {
+		t.Fatalf("merged figure differs from the cold local run:\n%s\n---\n%s", got, want)
+	}
+
+	// Warm rerun: still zero simulations, still identical bytes.
+	warm, stats, err := merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Computed.Load() != 0 || stats.Hits.Load() != 6 {
+		t.Fatalf("warm merge: %d computed, %d hits", stats.Computed.Load(), stats.Hits.Load())
+	}
+	if got := render(t, warm); !bytes.Equal(got, want) {
+		t.Fatal("warm merge output drifted")
+	}
+
+	// GC within bounds evicts nothing and later merges still work.
+	rep, err := central.GC(time.Now(), resultdb.GCPolicy{MaxAge: 24 * time.Hour, MaxBytes: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 0 {
+		t.Fatalf("in-bounds GC evicted %d records", rep.Evicted)
+	}
+	after, _, err := merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(t, after); !bytes.Equal(got, want) {
+		t.Fatal("merge output drifted after in-bounds GC")
+	}
+
+	// An aggressive GC empties the registry; the merge then reports
+	// exactly which cells are missing instead of inventing numbers.
+	if _, err := central.GC(time.Now().Add(48*time.Hour), resultdb.GCPolicy{MaxAge: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = merge()
+	var miss *experiments.MissingCellsError
+	if !errors.As(err, &miss) || len(miss.Cells) != 6 {
+		t.Fatalf("merge after full eviction: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/resultdb"
+)
+
+// maxRecordBytes bounds a PUT body (and, client-side, a response) at
+// 32 MiB — generous headroom over the largest paper cell (fig3's
+// 256-node FSI point serialises to well under a megabyte), while
+// still capping what one request can make the server buffer.
+const maxRecordBytes = 32 << 20
+
+// ServerOptions tunes a registry server.
+type ServerOptions struct {
+	// GCInterval, when positive, runs a GC pass over the backing store
+	// every interval with the GC policy.
+	GCInterval time.Duration
+	// GC is the eviction policy for periodic passes. The zero policy
+	// makes them no-ops.
+	GC resultdb.GCPolicy
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (startup, GC passes, shutdown).
+	Logf func(format string, args ...any)
+	// ShutdownGrace bounds how long Serve waits for in-flight requests
+	// after its context is cancelled. Default 30s. In-flight PUTs
+	// commit within the grace window; the listener closes immediately,
+	// so no new work is admitted.
+	ShutdownGrace time.Duration
+}
+
+// Server exposes one resultdb.DirStore over the wire protocol. It is
+// an http.Handler, so tests mount it on httptest and production wraps
+// it in Serve for lifecycle management.
+type Server struct {
+	store *resultdb.DirStore
+	opt   ServerOptions
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a directory store in the wire protocol.
+func NewServer(store *resultdb.DirStore, opt ServerOptions) *Server {
+	if opt.ShutdownGrace <= 0 {
+		opt.ShutdownGrace = 30 * time.Second
+	}
+	s := &Server{store: store, opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/cells/{key}", s.handleGet)
+	s.mux.HandleFunc("PUT /v1/cells/{key}", s.handlePut)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// writeJSON sends one JSON body with a status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// rejectSchema enforces the handshake on stamped requests: a client
+// that advertises a different schema gets a typed 409 instead of
+// records it would misread. Requests without the header (curl, health
+// checks) pass — the handshake protects clients, the stamped records
+// protect the store.
+func (s *Server) rejectSchema(w http.ResponseWriter, r *http.Request) bool {
+	got := r.Header.Get(headerSchema)
+	if got == "" || got == resultdb.SchemaVersion() {
+		return false
+	}
+	writeJSON(w, http.StatusConflict, wireError{
+		Code:         codeSchemaMismatch,
+		Error:        fmt.Sprintf("client schema %s does not match server", got),
+		ServerSchema: resultdb.SchemaVersion(),
+	})
+	return true
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wireSchema{Schema: resultdb.SchemaVersion()})
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if s.rejectSchema(w, r) {
+		return
+	}
+	keys := s.store.Keys()
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, wireManifest{Schema: resultdb.SchemaVersion(), Keys: keys})
+}
+
+// rejectKey refuses any cell path that is not a well-formed
+// fingerprint. The store layer re-checks, but rejecting here keeps a
+// percent-encoded "../" from ever reaching a filesystem join and
+// gives the caller a typed 400 instead of a silent miss.
+func rejectKey(w http.ResponseWriter, key string) bool {
+	if resultdb.ValidKey(key) {
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, wireError{
+		Code:  codeBadRecord,
+		Error: fmt.Sprintf("invalid cell key %q (want a 64-hex fingerprint)", key),
+	})
+	return true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s.rejectSchema(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	if rejectKey(w, key) {
+		return
+	}
+	ent, ok, err := s.store.Lookup(key)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, wireError{Code: "internal", Error: err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, wireError{Code: codeNotFound, Error: "no record for " + key})
+		return
+	}
+	writeJSON(w, http.StatusOK, wireRecord{
+		Schema: resultdb.SchemaVersion(),
+		Key:    key,
+		Result: ent.Result,
+		Error:  ent.Err,
+	})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if s.rejectSchema(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	if rejectKey(w, key) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRecordBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Code: codeBadRecord, Error: err.Error()})
+		return
+	}
+	if len(body) > maxRecordBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, wireError{Code: codeBadRecord, Error: "record exceeds size limit"})
+		return
+	}
+	var rec wireRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Code: codeBadRecord, Error: "undecodable record: " + err.Error()})
+		return
+	}
+	if rec.Key != key {
+		writeJSON(w, http.StatusBadRequest, wireError{
+			Code:  codeBadRecord,
+			Error: fmt.Sprintf("record key %s does not match path %s", rec.Key, key),
+		})
+		return
+	}
+	if rec.Schema != resultdb.SchemaVersion() {
+		writeJSON(w, http.StatusConflict, wireError{
+			Code:         codeSchemaMismatch,
+			Error:        fmt.Sprintf("record schema %s does not match server", rec.Schema),
+			ServerSchema: resultdb.SchemaVersion(),
+		})
+		return
+	}
+	if rec.Error != "" {
+		err = s.store.PutError(key, rec.Error)
+	} else {
+		err = s.store.Put(key, rec.Result)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, wireError{Code: "internal", Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Serve runs the registry on ln until ctx is cancelled, then shuts
+// down gracefully: the listener closes, in-flight requests — PUT
+// commits included — get ShutdownGrace to finish, and only then do
+// stragglers get cut. Periodic GC, when configured, runs on the same
+// lifecycle. Returns nil on a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Every helper goroutine hangs off this derived context, which is
+	// also cancelled when srv.Serve fails on its own (fd exhaustion, a
+	// closed listener) — a fatal serve error must tear the GC loop
+	// down too, not wedge waiting for a signal that already happened.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	srv := &http.Server{Handler: s}
+
+	gcDone := make(chan struct{})
+	if s.opt.GCInterval > 0 && s.opt.GC.Bounded() {
+		go func() {
+			defer close(gcDone)
+			t := time.NewTicker(s.opt.GCInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-t.C:
+					rep, err := s.store.GC(now, s.opt.GC)
+					if err != nil {
+						s.logf("registry: gc failed: %v", err)
+					} else if rep.Evicted > 0 {
+						s.logf("registry: %s", rep)
+					}
+				}
+			}
+		}()
+	} else {
+		close(gcDone)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.logf("registry: shutting down (committing in-flight requests)")
+		grace, cancel := context.WithTimeout(context.Background(), s.opt.ShutdownGrace)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(grace)
+	}()
+
+	err := srv.Serve(ln)
+	graceful := errors.Is(err, http.ErrServerClosed)
+	cancel() // release the helpers before waiting on them
+	if graceful {
+		err = <-shutdownErr // graceful path: report Shutdown's verdict instead
+	}
+	<-gcDone
+	return err
+}
+
+// ListenAndServe binds addr and calls Serve. The bound address is
+// reported through Logf before serving, so operators (and the CI
+// smoke test) can wait for readiness.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	s.logf("registry: listening on %s (schema %s, store %s)", ln.Addr(), resultdb.SchemaVersion(), s.store.Dir())
+	return s.Serve(ctx, ln)
+}

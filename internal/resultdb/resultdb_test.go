@@ -380,7 +380,7 @@ func TestPutErrorRoundTrip(t *testing.T) {
 	if _, ok := s.Get(key(7)); ok {
 		t.Fatal("failure record answered a success-only Get")
 	}
-	ent, ok := s.Lookup(key(7))
+	ent, ok, _ := s.Lookup(key(7))
 	if !ok {
 		t.Fatal("failure record missed on Lookup")
 	}
@@ -397,7 +397,7 @@ func TestPutErrorRoundTrip(t *testing.T) {
 	if got := s2.Len(); got != 1 {
 		t.Fatalf("journal replay found %d keys, want 1", got)
 	}
-	if ent, ok := s2.Lookup(key(7)); !ok || ent.Err == "" {
+	if ent, ok, _ := s2.Lookup(key(7)); !ok || ent.Err == "" {
 		t.Fatal("failure record lost across reopen")
 	}
 
