@@ -1,14 +1,27 @@
-// Command hpcstudy regenerates the paper's evaluation artifacts.
+// Command hpcstudy regenerates the paper's evaluation artifacts and
+// runs user-authored scenario studies.
 //
 // Usage:
 //
 //	hpcstudy [-quick] [-csv] [-v] [-parallel N] [store flags] [merge] <study>
+//	hpcstudy run [-list] [flags] <spec.json>
+//	hpcstudy validate <spec.json>
 //	hpcstudy serve -cache-dir DIR -listen ADDR [-gc-interval DUR -max-bytes N -max-age DUR]
 //	hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]
+//	hpcstudy help [verb]
 //
 // where <study> is fig1|fig2|fig3|solutions|portability|iostudy|all
 // and the store flags are -cache-dir DIR, -cache-url URL (either or
 // both) plus -shard k/N.
+//
+// run compiles a declarative JSON scenario spec (see
+// examples/scenarios and the README's "Custom scenarios" section)
+// and executes it through the same sweep engine as the built-in
+// studies, so every store flag — caching, registry URL, sharding,
+// merge — applies unchanged; a spec argument also works wherever a
+// study name does ("hpcstudy merge spec.json"). validate checks a
+// spec and reports its cell count without simulating, and run -list
+// prints every compiled cell with its store key.
 //
 // Without -quick every experiment runs at paper scale; fig3's 256-node
 // point simulates 12,288 MPI ranks and takes several minutes of wall
@@ -52,6 +65,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,47 +91,129 @@ type cliConfig struct {
 	cacheURL   string // result registry base URL
 	shard      string // "k/N", empty = no sharding
 	merge      bool   // assemble purely from the store
+	list       bool   // run: enumerate cells without running
+	scenario   bool   // run verb: the argument must be a spec file
 	listen     string // serve: bind address
 	gcInterval time.Duration
 	maxBytes   int64
 	maxAge     time.Duration
 }
 
-func main() {
-	var cfg cliConfig
-	flag.BoolVar(&cfg.quick, "quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
-	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of tables")
-	flag.BoolVar(&cfg.verbose, "v", false, "report per-study cache, store, and vtime kernel counters")
-	flag.IntVar(&cfg.parallel, "parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
-	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result store directory (replay hits, commit misses)")
-	flag.StringVar(&cfg.cacheURL, "cache-url", "", "result registry URL; with -cache-dir, the directory becomes a local read-through cache")
-	flag.StringVar(&cfg.shard, "shard", "", "compute only slice k/N of the cells into the store")
-	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8420", "serve: address to expose the registry on")
-	flag.DurationVar(&cfg.gcInterval, "gc-interval", 0, "serve: garbage-collect the store every interval (0 = never)")
-	flag.Int64Var(&cfg.maxBytes, "max-bytes", 0, "gc/serve: evict least-recently-used records past this total size (0 = unbounded)")
-	flag.DurationVar(&cfg.maxAge, "max-age", 0, "gc/serve: evict records not accessed within this duration (0 = unbounded)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpcstudy [-quick] [-csv] [-v] [-parallel N] [-cache-dir DIR] [-cache-url URL] [-shard k/N] [merge] <fig1|fig2|fig3|solutions|portability|iostudy|all>\n"+
-				"       hpcstudy serve -cache-dir DIR [-listen ADDR] [-gc-interval DUR -max-bytes N -max-age DUR]\n"+
-				"       hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]\n")
-		flag.PrintDefaults()
-	}
+// verbSummaries drives the top-level usage text, in display order.
+var verbSummaries = [][2]string{
+	{"<study>", "regenerate a built-in study: fig1|fig2|fig3|solutions|portability|iostudy|all"},
+	{"run <spec.json>", "compile and run a declarative scenario spec (examples/scenarios)"},
+	{"validate <spec.json>", "check a scenario spec and report its cells without running"},
+	{"merge <study|spec>", "assemble output purely from the result store"},
+	{"serve", "expose a -cache-dir store as a result registry over HTTP"},
+	{"gc", "evict store records by total size and/or last access"},
+	{"help [verb]", "print this summary, or one verb's flags"},
+}
 
+// verbFlags names the flags each verb understands, so per-verb help
+// shows only what applies.
+var verbFlags = map[string][]string{
+	// "study" itself is the top-level summary (printUsage's first
+	// branch), which prints studyFamilyFlags below.
+	"run":      {"list", "csv", "v", "parallel", "cache-dir", "cache-url", "shard"},
+	"merge":    {"quick", "csv", "v", "parallel", "cache-dir", "cache-url"},
+	"validate": {},
+	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age"},
+	"gc":       {"cache-dir", "max-bytes", "max-age"},
+}
+
+// studyFamilyFlags is the union the top-level summary prints: every
+// flag of the study/run/merge family, -quick included.
+var studyFamilyFlags = []string{"quick", "list", "csv", "v", "parallel", "cache-dir", "cache-url", "shard"}
+
+// verbSynopses is the one-line usage form of each verb.
+var verbSynopses = map[string]string{
+	"study":    "hpcstudy [flags] <fig1|fig2|fig3|solutions|portability|iostudy|all>",
+	"run":      "hpcstudy run [flags] <spec.json>",
+	"validate": "hpcstudy validate <spec.json>",
+	"merge":    "hpcstudy merge [flags] <study|spec.json>",
+	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-gc-interval DUR -max-bytes N -max-age DUR]",
+	"gc":       "hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]",
+}
+
+// printVerbFlags prints the named flags in declaration style.
+func printVerbFlags(w io.Writer, names []string) {
+	for _, n := range names {
+		f := flag.CommandLine.Lookup(n)
+		if f == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  -%-12s %s\n", f.Name, f.Usage)
+	}
+}
+
+// printUsage writes the usage text: one verb's synopsis and flags, or
+// the full verb summary when verb is empty or unknown.
+func printUsage(w io.Writer, verb string) {
+	if verb == "study" || verb == "" {
+		fmt.Fprintf(w, "usage: %s\n", verbSynopses["study"])
+		fmt.Fprintf(w, "\nverbs:\n")
+		for _, v := range verbSummaries {
+			fmt.Fprintf(w, "  %-22s %s\n", v[0], v[1])
+		}
+		fmt.Fprintf(w, "\nrun `hpcstudy help <verb>` (or `hpcstudy <verb> -h`) for per-verb flags.\n")
+		fmt.Fprintf(w, "\nstudy/run/merge flags:\n")
+		printVerbFlags(w, studyFamilyFlags)
+		return
+	}
+	syn, ok := verbSynopses[verb]
+	if !ok {
+		printUsage(w, "")
+		return
+	}
+	fmt.Fprintf(w, "usage: %s\n", syn)
+	if names := verbFlags[verb]; len(names) > 0 {
+		fmt.Fprintf(w, "\nflags:\n")
+		printVerbFlags(w, names)
+	}
+}
+
+// cliFlags receives the parsed command line. Registration happens at
+// init so per-verb help can introspect flag.CommandLine even when
+// main never runs (tests drive printUsage directly); the test binary
+// registers its own -test.* flags alongside, which never collide.
+var cliFlags cliConfig
+
+func init() {
+	flag.BoolVar(&cliFlags.quick, "quick", false, "trimmed sweeps (same shapes, minutes less wall time)")
+	flag.BoolVar(&cliFlags.csv, "csv", false, "emit CSV instead of tables")
+	flag.BoolVar(&cliFlags.verbose, "v", false, "report per-study cache, store, and vtime kernel counters")
+	flag.IntVar(&cliFlags.parallel, "parallel", 0, "max concurrently simulated cells (0 = all CPUs)")
+	flag.StringVar(&cliFlags.cacheDir, "cache-dir", "", "persistent result store directory (replay hits, commit misses)")
+	flag.StringVar(&cliFlags.cacheURL, "cache-url", "", "result registry URL; with -cache-dir, the directory becomes a local read-through cache")
+	flag.StringVar(&cliFlags.shard, "shard", "", "compute only slice k/N of the cells into the store")
+	flag.BoolVar(&cliFlags.list, "list", false, "run: print the compiled cells (store key and label) without running")
+	flag.StringVar(&cliFlags.listen, "listen", "127.0.0.1:8420", "serve: address to expose the registry on")
+	flag.DurationVar(&cliFlags.gcInterval, "gc-interval", 0, "serve: garbage-collect the store every interval (0 = never)")
+	flag.Int64Var(&cliFlags.maxBytes, "max-bytes", 0, "gc/serve: evict least-recently-used records past this total size (0 = unbounded)")
+	flag.DurationVar(&cliFlags.maxAge, "max-age", 0, "gc/serve: evict records not accessed within this duration (0 = unbounded)")
+}
+
+func main() {
 	// Verbs read naturally before their flags (`hpcstudy serve -cache-dir …`);
-	// merge keeps its legacy flags-first position too.
+	// merge & co. keep their legacy flags-first position too.
 	args := os.Args[1:]
 	verb := ""
 	if len(args) > 0 {
 		switch args[0] {
-		case "serve", "gc", "merge":
+		case "serve", "gc", "merge", "run", "validate", "help":
 			verb, args = args[0], args[1:]
 		}
 	}
+	flag.Usage = func() { printUsage(flag.CommandLine.Output(), verb) }
 	flag.CommandLine.Parse(args)
+	cfg := cliFlags
 	rest := flag.Args()
-	if verb == "" && len(rest) > 0 && rest[0] == "merge" {
-		verb, rest = "merge", rest[1:]
+	if verb == "" && len(rest) > 0 {
+		switch rest[0] {
+		case "merge", "run", "validate", "help":
+			verb, rest = rest[0], rest[1:]
+		}
 	}
 
 	var err error
@@ -136,12 +232,29 @@ func main() {
 			os.Exit(2)
 		}
 		err = runGC(os.Stdout, cfg)
+	case "help":
+		target := ""
+		if len(rest) > 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if len(rest) == 1 {
+			target = rest[0]
+		}
+		printUsage(os.Stdout, target)
+	case "validate":
+		if len(rest) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = runValidate(os.Stdout, rest[0])
 	default:
 		if len(rest) != 1 {
 			flag.Usage()
 			os.Exit(2)
 		}
 		cfg.merge = verb == "merge"
+		cfg.scenario = verb == "run"
 		err = runStudy(os.Stdout, rest[0], cfg)
 	}
 	if err != nil {
@@ -246,12 +359,76 @@ type unknownStudyError string
 
 func (e unknownStudyError) Error() string { return fmt.Sprintf("unknown study %q", string(e)) }
 
-// runStudy regenerates one study (or "all") into w — the whole CLI
-// behind flag parsing, so tests can drive it directly.
+// looksLikeSpec reports whether a study argument is a scenario spec
+// path rather than a built-in study name, so every study-taking verb
+// ("hpcstudy merge spec.json") accepts specs without a separate flag.
+func looksLikeSpec(s string) bool {
+	if strings.HasSuffix(s, ".json") || strings.ContainsRune(s, os.PathSeparator) {
+		return true
+	}
+	// Extension-less spec files are accepted, but only regular files:
+	// a typo that happens to match a directory should stay an
+	// "unknown study" diagnostic, not a JSON decode failure.
+	info, err := os.Stat(s)
+	return err == nil && info.Mode().IsRegular()
+}
+
+// runValidate compiles a spec and reports its shape without running.
+func runValidate(w io.Writer, path string) error {
+	st, err := containerhpc.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: ok: %s\n", path, st.Shape())
+	return nil
+}
+
+// listCells prints every compiled cell with its store key — the
+// operator's view of what a spec will sweep and which fingerprints to
+// look for in a registry.
+func listCells(w io.Writer, st *containerhpc.Scenario) error {
+	cells, keys := st.Cells(), st.Keys()
+	for i := range cells {
+		fmt.Fprintf(w, "%s  %s\n", keys[i], cells[i].Label)
+	}
+	fmt.Fprintf(w, "%s: %s\n", st.Name(), st.Shape())
+	return nil
+}
+
+// runStudy regenerates one study (or "all"), or a scenario spec given
+// by path, into w — the whole CLI behind flag parsing, so tests can
+// drive it directly.
 func runStudy(w io.Writer, which string, cfg cliConfig) error {
 	if cfg.parallel < 0 {
 		return usageError(fmt.Sprintf("-parallel must be ≥ 0 (0 = all CPUs), got %d", cfg.parallel))
 	}
+
+	// Resolve the target before touching any store: a scenario path
+	// compiles here (validation errors surface with no side effects),
+	// and -list needs nothing but the compiled cells.
+	builtin := which == "all"
+	for _, n := range studyNames {
+		builtin = builtin || which == n
+	}
+	var study *containerhpc.Scenario
+	if !builtin || cfg.scenario {
+		if !cfg.scenario && !looksLikeSpec(which) {
+			return unknownStudyError(which)
+		}
+		if cfg.quick {
+			return usageError("-quick trims the built-in studies; size a scenario via its spec (case.sim_steps)")
+		}
+		var err error
+		if study, err = containerhpc.LoadScenario(which); err != nil {
+			return err
+		}
+		if cfg.list {
+			return listCells(w, study)
+		}
+	} else if cfg.list {
+		return usageError("-list prints a scenario spec's cells; give the run verb a spec file")
+	}
+
 	var shard containerhpc.Shard
 	if cfg.shard != "" {
 		if cfg.cacheDir == "" && cfg.cacheURL == "" {
@@ -292,6 +469,7 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 		start := time.Now()
 		hits0, comp0, neg0 := stats.Hits.Load(), stats.Computed.Load(), stats.NegHits.Load()
 		kern0 := stats.Kernel()
+		stats.ResetAdmission() // min-gauge: fresh window per study
 		var st0 containerhpc.StoreStats
 		if opt.Store != nil {
 			st0 = opt.Store.Stats()
@@ -303,14 +481,25 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 			k := stats.Kernel().Sub(kern0)
 			fmt.Fprintf(w, "  %s cells: %d simulated, %d replayed, %d failures replayed\n",
 				name, stats.Computed.Load()-comp0, stats.Hits.Load()-hits0, stats.NegHits.Load()-neg0)
+			// The gauge was reset at this study's start, so a clamp here
+			// belongs to this study — an earlier study's clamp (fig3
+			// under "all") is never re-attributed, and two studies
+			// clamped identically each report their own line.
+			if req, adm := stats.Admission(); adm != 0 && adm < req {
+				// The rank budget, not the CPU count, bounded this run's
+				// concurrency — the line an oversized grid needs to
+				// explain its own throughput.
+				fmt.Fprintf(w, "  %s admission: %d of %d workers admitted (rank budget %d simulated ranks)\n",
+					name, adm, req, containerhpc.RankBudget)
+			}
 			if opt.Store != nil {
 				// The store's own traffic, not the sweep's view of it:
 				// against a registry these are network operations, and
 				// retries flag a flaky link.
 				st := opt.Store.Stats()
-				fmt.Fprintf(w, "  %s store: %d hits, %d misses, %d puts, %d failure records, %d negative hits, %d retries\n",
-					name, st.Hits-st0.Hits, st.Misses()-st0.Misses(), st.Puts-st0.Puts,
-					st.PutErrors-st0.PutErrors, st.NegHits-st0.NegHits, st.Retries-st0.Retries)
+				fmt.Fprintf(w, "  %s store: %d hits, %d misses (%d answered by prefetch), %d puts, %d failure records, %d negative hits, %d retries\n",
+					name, st.Hits-st0.Hits, st.Misses()-st0.Misses(), st.PrefetchSkips-st0.PrefetchSkips,
+					st.Puts-st0.Puts, st.PutErrors-st0.PutErrors, st.NegHits-st0.NegHits, st.Retries-st0.Retries)
 			}
 			fmt.Fprintf(w, "  %s kernel: %d switches (%d ping-pong), %d sync fast-path, %d heap ops, %d wakes (%d batched flushes)\n",
 				name, k.Switches, k.PingPong, k.SyncFast, k.HeapOps, k.Wakes, k.WakeBatches)
@@ -332,6 +521,11 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 		fmt.Fprintf(w, "  (%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
+	if study != nil {
+		return run(study.Name(), func(w io.Writer) error {
+			return scenarioJob(w, study, opt, cfg)
+		})
+	}
 	if which == "all" {
 		for _, name := range studyNames {
 			if err := run(name, jobs[name]); err != nil {
@@ -345,6 +539,21 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 		return unknownStudyError(which)
 	}
 	return run(which, f)
+}
+
+// scenarioJob runs one compiled scenario through the same options
+// every built-in study gets.
+func scenarioJob(w io.Writer, st *containerhpc.Scenario, opt containerhpc.Options, cfg cliConfig) error {
+	res, err := st.Run(opt)
+	if err != nil {
+		return err
+	}
+	if cfg.csv {
+		res.CSV(w)
+	} else {
+		res.Render(w)
+	}
+	return nil
 }
 
 func fig1(w io.Writer, opt containerhpc.Options, cfg cliConfig) error {

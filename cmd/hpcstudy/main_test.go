@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -381,5 +382,230 @@ func TestGCVerb(t *testing.T) {
 	err := runStudy(io.Discard, "fig2", cliConfig{quick: true, cacheDir: dir, merge: true})
 	if err == nil || !strings.Contains(err.Error(), "not in the result store") {
 		t.Fatalf("merge after eviction: %v", err)
+	}
+}
+
+// quickFig2Spec mirrors `-quick fig2` at the test's shrunk node
+// points, as a scenario spec.
+const quickFig2Spec = `{
+  "name": "fig2",
+  "title": "Fig 2: average elapsed time of artery CFD case in CTE-POWER",
+  "cluster": "CTE-POWER",
+  "case": {"name": "artery-cfd-ctepower", "sim_steps": 1},
+  "configs": [
+    {"label": "Bare-metal", "runtime": "Bare-metal"},
+    {"label": "Singularity system-specific", "runtime": "Singularity", "version": "2.5.1"},
+    {"label": "Singularity self-contained", "runtime": "Singularity", "version": "2.5.1", "technique": "self-contained"}
+  ],
+  "grid": {"nodes": [2, 4]},
+  "report": {"show_fabric": true}
+}`
+
+// writeQuickSpec drops the spec into a temp file.
+func writeQuickSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig2.json")
+	if err := os.WriteFile(path, []byte(quickFig2Spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioMatchesBuiltinCLI is the CLI acceptance path: `hpcstudy
+// run <spec>` renders byte-identically to the built-in `-quick fig2`,
+// in table and CSV form, through exactly the code the binary runs.
+func TestScenarioMatchesBuiltinCLI(t *testing.T) {
+	shrinkQuick(t)
+	spec := writeQuickSpec(t)
+
+	var builtin, scenario strings.Builder
+	if err := runStudy(&builtin, "fig2", cliConfig{quick: true, parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStudy(&scenario, spec, cliConfig{scenario: true, parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(builtin.String()) != stripTimings(scenario.String()) {
+		t.Fatalf("scenario differs from builtin:\n--- builtin ---\n%s\n--- scenario ---\n%s",
+			builtin.String(), scenario.String())
+	}
+
+	var bcsv, scsv strings.Builder
+	if err := runStudy(&bcsv, "fig2", cliConfig{quick: true, csv: true, parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStudy(&scsv, spec, cliConfig{scenario: true, csv: true, parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(bcsv.String()) != stripTimings(scsv.String()) {
+		t.Fatal("scenario CSV differs from builtin CSV")
+	}
+}
+
+// TestScenarioSharesBuiltinStore asserts the two expressions of the
+// figure are the same cells: the built-in study populates a store and
+// the scenario replays every cell from it, simulating nothing.
+func TestScenarioSharesBuiltinStore(t *testing.T) {
+	shrinkQuick(t)
+	spec := writeQuickSpec(t)
+	dir := filepath.Join(t.TempDir(), "cells")
+
+	if err := runStudy(io.Discard, "fig2", cliConfig{quick: true, parallel: 4, cacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	var warm strings.Builder
+	if err := runStudy(&warm, spec, cliConfig{scenario: true, parallel: 4, verbose: true, cacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "fig2 cells: 0 simulated") {
+		t.Fatalf("scenario did not replay the builtin's cells:\n%s", warm.String())
+	}
+}
+
+// TestScenarioShardMergeRegistry drives the distributed workflow
+// through scenario specs: two sharded `run` invocations against a
+// live registry, then a merge with nothing but the URL, byte-identical
+// to the built-in local run; the cold shard's -v store line must show
+// prefetch-answered lookups (the registry was empty).
+func TestScenarioShardMergeRegistry(t *testing.T) {
+	shrinkQuick(t)
+	spec := writeQuickSpec(t)
+	url, stop := startServe(t, cliConfig{cacheDir: filepath.Join(t.TempDir(), "central")})
+	defer stop()
+
+	var ref strings.Builder
+	if err := runStudy(&ref, "fig2", cliConfig{quick: true, parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shard := range []string{"1/2", "2/2"} {
+		var sb strings.Builder
+		err := runStudy(&sb, spec, cliConfig{scenario: true, parallel: 2, verbose: true, cacheURL: url, shard: shard})
+		if err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+		if shard == "1/2" {
+			out := sb.String()
+			if !strings.Contains(out, "answered by prefetch") || strings.Contains(out, "(0 answered by prefetch)") {
+				t.Fatalf("cold shard shows no prefetch-answered lookups:\n%s", out)
+			}
+		}
+	}
+
+	var merged strings.Builder
+	if err := runStudy(&merged, spec, cliConfig{scenario: true, parallel: 2, cacheURL: url, merge: true}); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(merged.String()) != stripTimings(ref.String()) {
+		t.Fatalf("scenario registry merge differs from builtin local run:\n--- builtin ---\n%s\n--- merged ---\n%s",
+			ref.String(), merged.String())
+	}
+}
+
+// TestValidateVerb asserts validate reports a good spec's shape and a
+// bad spec's field path without running anything.
+func TestValidateVerb(t *testing.T) {
+	spec := writeQuickSpec(t)
+	var sb strings.Builder
+	if err := runValidate(&sb, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ok: 3 configs x 2 grid points = 6 cells") {
+		t.Fatalf("validate summary: %s", sb.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","cluster":"Lennox","case":{"name":"quick-cfd"},"configs":[{"runtime":"Bare-metal"}],"grid":{"nodes":[1]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runValidate(io.Discard, bad)
+	if err == nil || !strings.Contains(err.Error(), "cluster") || !strings.Contains(err.Error(), "Lennox") {
+		t.Fatalf("validate error does not name the field: %v", err)
+	}
+}
+
+// TestScenarioList asserts -list prints every compiled cell with its
+// 64-hex store key, without simulating.
+func TestScenarioList(t *testing.T) {
+	spec := writeQuickSpec(t)
+	var sb strings.Builder
+	if err := runStudy(&sb, spec, cliConfig{scenario: true, list: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // 6 cells + shape summary
+		t.Fatalf("list printed %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "fig2 Bare-metal 2 nodes") {
+		t.Fatalf("list misses a cell label:\n%s", out)
+	}
+	key := strings.Fields(lines[0])[0]
+	if len(key) != 64 {
+		t.Fatalf("list key %q is not a fingerprint", key)
+	}
+	// -list on a built-in study name is a usage error.
+	var ue usageError
+	if err := runStudy(io.Discard, "fig2", cliConfig{list: true}); !errors.As(err, &ue) {
+		t.Fatal("-list on a builtin study accepted")
+	}
+}
+
+// TestScenarioBadPath asserts the run verb surfaces load errors as
+// plain failures (exit 1), not usage.
+func TestScenarioBadPath(t *testing.T) {
+	err := runStudy(io.Discard, filepath.Join(t.TempDir(), "nope.json"), cliConfig{scenario: true})
+	if err == nil {
+		t.Fatal("missing spec ran")
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("load failure classified as usage: %v", err)
+	}
+
+	// A typo that happens to name a directory stays an unknown-study
+	// diagnostic, not a JSON decode failure.
+	var se unknownStudyError
+	if err := runStudy(io.Discard, ".", cliConfig{}); !errors.As(err, &se) {
+		t.Fatalf("directory argument: want unknownStudyError, got %v", err)
+	}
+}
+
+// TestUsageVerbHelp asserts the verb summary names every verb and
+// per-verb help shows only the relevant flags.
+func TestUsageVerbHelp(t *testing.T) {
+	var all strings.Builder
+	printUsage(&all, "")
+	for _, want := range []string{"run <spec.json>", "validate <spec.json>", "merge", "serve", "gc", "help", "-cache-dir", "-quick"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("top-level usage missing %q:\n%s", want, all.String())
+		}
+	}
+
+	var serve strings.Builder
+	printUsage(&serve, "serve")
+	if !strings.Contains(serve.String(), "-listen") {
+		t.Errorf("serve help missing -listen:\n%s", serve.String())
+	}
+	if strings.Contains(serve.String(), "-csv") {
+		t.Errorf("serve help leaks study flags:\n%s", serve.String())
+	}
+
+	var run strings.Builder
+	printUsage(&run, "run")
+	if !strings.Contains(run.String(), "-list") || strings.Contains(run.String(), "-listen ") {
+		t.Errorf("run help flags wrong:\n%s", run.String())
+	}
+}
+
+// TestScenarioRejectsQuick asserts -quick on a scenario run is a
+// usage error naming the spec's own sizing knob, rather than being
+// silently ignored.
+func TestScenarioRejectsQuick(t *testing.T) {
+	spec := writeQuickSpec(t)
+	var ue usageError
+	err := runStudy(io.Discard, spec, cliConfig{scenario: true, quick: true})
+	if !errors.As(err, &ue) || !strings.Contains(err.Error(), "sim_steps") {
+		t.Fatalf("want usageError naming sim_steps, got %v", err)
 	}
 }

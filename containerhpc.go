@@ -33,6 +33,8 @@
 package containerhpc
 
 import (
+	"io"
+
 	"repro/internal/alya"
 	"repro/internal/cluster"
 	"repro/internal/container"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/registry"
 	"repro/internal/resultdb"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/units"
 	"repro/internal/vtime"
@@ -122,7 +125,24 @@ type (
 	// RecordedError is a failure replayed from the result store's
 	// negative cache instead of re-simulating a known-bad cell.
 	RecordedError = resultdb.RecordedError
+	// Scenario is a compiled declarative study: a JSON spec resolved
+	// against the model and expanded into runnable cells. Run it with
+	// the same Options every built-in figure takes.
+	Scenario = scenario.Study
+	// ScenarioSpec is the JSON form of a user-authored study.
+	ScenarioSpec = scenario.Spec
+	// ScenarioResult is a scenario run's outcome; Render/CSV write it
+	// through the shared report machinery.
+	ScenarioResult = scenario.Result
+	// ScenarioFieldError locates a spec mistake by JSON field path.
+	ScenarioFieldError = scenario.FieldError
+	// CellSpec is one unit of sweep work (a Scenario enumerates them).
+	CellSpec = experiments.CellSpec
 )
+
+// RankBudget bounds the total simulated ranks concurrently in flight;
+// SweepStats.Admission reports when it clamps a sweep's worker pool.
+const RankBudget = experiments.RankBudget
 
 // ModelChecksum fingerprints the simulator's model constants (cluster,
 // fabric, container, and workload tables). The result store folds it
@@ -168,6 +188,15 @@ func SchemaVersion() string { return resultdb.SchemaVersion() }
 // result on Options.Shard so N cooperating invocations each compute a
 // disjoint slice of a sweep into one shared Store.
 func ParseShard(s string) (Shard, error) { return resultdb.ParseShard(s) }
+
+// LoadScenario reads, validates, and compiles a JSON scenario spec
+// file into a runnable study. Validation failures are
+// *ScenarioFieldError values naming the offending field path.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario compiles a spec read from r; name labels errors
+// (usually a file path or "<stdin>").
+func ParseScenario(r io.Reader, name string) (*Scenario, error) { return scenario.Parse(r, name) }
 
 // NewMesh builds a uniform mesh with cubic cells of size h — the
 // building block for custom cases.

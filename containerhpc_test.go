@@ -1,6 +1,7 @@
 package containerhpc
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -96,5 +97,47 @@ func TestPublicSolutions(t *testing.T) {
 	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("%d solution rows", len(res.Rows))
+	}
+}
+
+// TestPublicScenario drives a custom declarative study through the
+// facade alone: parse a spec, run it with the standard Options, and
+// read the rendered output — the external user's whole workflow.
+func TestPublicScenario(t *testing.T) {
+	spec := `{
+	  "name": "demo",
+	  "cluster": "Lenox",
+	  "case": {"name": "quick-cfd"},
+	  "configs": [
+	    {"runtime": "Bare-metal"},
+	    {"runtime": "Singularity"}
+	  ],
+	  "grid": {"nodes": [1, 2], "ranks_per_node": 4},
+	  "report": {"columns": [{"kind": "time"}, {"kind": "speedup", "baseline": "Bare-metal"}]}
+	}`
+	st, err := ParseScenario(strings.NewReader(spec), "demo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cells()) != 4 {
+		t.Fatalf("%d cells", len(st.Cells()))
+	}
+	res, err := st.Run(Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	for _, want := range []string{"demo", "Bare-metal [s]", "Singularity speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Validation errors are typed and name the field.
+	_, err = ParseScenario(strings.NewReader(`{"name":"x","cluster":"nope","case":{"name":"quick-cfd"},"configs":[{"runtime":"Bare-metal"}],"grid":{"nodes":[1]}}`), "bad.json")
+	var fe *ScenarioFieldError
+	if !errors.As(err, &fe) || fe.Path != "cluster" {
+		t.Fatalf("want *ScenarioFieldError at cluster, got %v", err)
 	}
 }

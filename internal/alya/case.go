@@ -16,6 +16,7 @@ package alya
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mesh"
 	"repro/internal/navier"
@@ -159,6 +160,31 @@ func ArteryFSIMareNostrum4() Case {
 		CouplingIters: 2,
 		FluidFraction: 0.75,
 	}
+}
+
+// CaseNames lists the named cases a scenario spec can select, in
+// paper order.
+func CaseNames() []string {
+	return []string{"artery-cfd-lenox", "artery-cfd-ctepower", "artery-fsi-mn4", "quick-cfd", "quick-fsi"}
+}
+
+// CaseByName finds a named case. The quick cases default to 5 steps;
+// callers wanting a different length override Steps/SimSteps on the
+// returned value (scenario specs expose exactly that).
+func CaseByName(name string) (Case, error) {
+	switch name {
+	case "artery-cfd-lenox":
+		return ArteryCFDLenox(), nil
+	case "artery-cfd-ctepower":
+		return ArteryCFDCTEPower(), nil
+	case "artery-fsi-mn4":
+		return ArteryFSIMareNostrum4(), nil
+	case "quick-cfd":
+		return QuickCFD(5), nil
+	case "quick-fsi":
+		return QuickFSI(5), nil
+	}
+	return Case{}, fmt.Errorf("alya: unknown case %q (known: %s)", name, strings.Join(CaseNames(), ", "))
 }
 
 // QuickCFD is a laptop-scale CFD case for tests and the quickstart

@@ -295,3 +295,25 @@ func ByName(name string) (Runtime, error) {
 	}
 	return nil, fmt.Errorf("container: unknown runtime %q", name)
 }
+
+// ByNameVersion finds a runtime by display name at an explicit
+// version. The version is part of a cell's content identity, so
+// callers reproducing a specific measurement (scenario specs) must be
+// able to pin it; an empty version keeps the study default.
+func ByNameVersion(name, version string) (Runtime, error) {
+	rt, err := ByName(name)
+	if err != nil || version == "" {
+		return rt, err
+	}
+	switch rt.(type) {
+	case BareMetal:
+		return nil, fmt.Errorf("container: bare metal has no version")
+	case Docker:
+		return Docker{Version: version}, nil
+	case Singularity:
+		return Singularity{Version: version}, nil
+	case Shifter:
+		return Shifter{Version: version}, nil
+	}
+	return rt, nil
+}

@@ -48,8 +48,11 @@ func (f *Fig1Result) SeriesByLabel(label string) (*metrics.Series, error) {
 	return nil, fmt.Errorf("experiments: fig1 has no series %q", label)
 }
 
-// Fig1 reproduces the paper's Figure 1 on the Lenox cluster.
-func Fig1(opt Options) (*Fig1Result, error) {
+// Fig1Specs enumerates Fig. 1's cells in sweep order (runtimes outer,
+// hybrid configurations inner). Exported so the scenario compiler's
+// re-expression of the study can be tested cell-for-cell against the
+// hand-coded enumeration.
+func Fig1Specs(opt Options) []CellSpec {
 	lenox := cluster.Lenox()
 	cs := opt.caseOr(alya.ArteryCFDLenox())
 	configs := Fig1Configs()
@@ -67,7 +70,14 @@ func Fig1(opt Options) (*Fig1Result, error) {
 			})
 		}
 	}
-	results, err := NewSweep(opt).Run(specs)
+	return specs
+}
+
+// Fig1 reproduces the paper's Figure 1 on the Lenox cluster.
+func Fig1(opt Options) (*Fig1Result, error) {
+	configs := Fig1Configs()
+	runtimes := container.Runtimes()
+	results, err := NewSweep(opt).Run(Fig1Specs(opt))
 	if err != nil {
 		return nil, err
 	}

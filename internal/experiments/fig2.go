@@ -52,11 +52,19 @@ func (f *Fig2Result) SeriesByLabel(label string) (*metrics.Series, error) {
 	return nil, fmt.Errorf("experiments: fig2 has no series %q", label)
 }
 
-// Fig2 reproduces the paper's Figure 2 on CTE-POWER.
-func Fig2(opt Options) (*Fig2Result, error) {
+// fig2DefaultNodes is the paper's Fig. 2 x-axis — the single source
+// both the spec enumeration and the result reshaping read, so they
+// can never disagree on the sweep's shape.
+func fig2DefaultNodes() []int { return []int{2, 4, 6, 8, 10, 12, 14, 16} }
+
+// Fig2Specs enumerates Fig. 2's cells in sweep order (variants outer,
+// node counts inner). Exported so the scenario compiler's
+// re-expression of the study can be tested cell-for-cell against the
+// hand-coded enumeration.
+func Fig2Specs(opt Options) []CellSpec {
 	cte := cluster.CTEPower()
 	cs := opt.caseOr(alya.ArteryCFDCTEPower())
-	nodes := opt.nodesOr([]int{2, 4, 6, 8, 10, 12, 14, 16})
+	nodes := opt.nodesOr(fig2DefaultNodes())
 	variants := Fig2Variants()
 
 	specs := make([]CellSpec, 0, len(variants)*len(nodes))
@@ -71,7 +79,14 @@ func Fig2(opt Options) (*Fig2Result, error) {
 			})
 		}
 	}
-	results, err := NewSweep(opt).Run(specs)
+	return specs
+}
+
+// Fig2 reproduces the paper's Figure 2 on CTE-POWER.
+func Fig2(opt Options) (*Fig2Result, error) {
+	nodes := opt.nodesOr(fig2DefaultNodes())
+	variants := Fig2Variants()
+	results, err := NewSweep(opt).Run(Fig2Specs(opt))
 	if err != nil {
 		return nil, err
 	}

@@ -115,7 +115,43 @@ type SweepStats struct {
 	Wakes       atomic.Int64
 	WakeBatches atomic.Int64
 	HeapOps     atomic.Int64
+
+	// admission packs the tightest worker admission any compute phase
+	// observed (requested<<32 | admitted), so an oversized grid can
+	// report that the rank budget — not the cell count or the CPU
+	// count — bounded its concurrency. Zero until a compute phase runs.
+	admission atomic.Uint64
 }
+
+// NoteAdmission records one compute phase's worker admission: how many
+// workers the configuration requested and how many RankBudget let in.
+// The tightest observation (smallest admitted) wins, so a study that
+// runs several sweeps reports the one that actually throttled.
+func (st *SweepStats) NoteAdmission(requested, admitted int) {
+	packed := uint64(uint32(requested))<<32 | uint64(uint32(admitted))
+	for {
+		cur := st.admission.Load()
+		if cur != 0 && uint32(cur) <= uint32(packed) {
+			return
+		}
+		if st.admission.CompareAndSwap(cur, packed) {
+			return
+		}
+	}
+}
+
+// Admission returns the tightest worker admission recorded since the
+// last ResetAdmission; (0, 0) means no compute phase has run.
+func (st *SweepStats) Admission() (requested, admitted int) {
+	p := st.admission.Load()
+	return int(p >> 32), int(uint32(p))
+}
+
+// ResetAdmission clears the gauge, opening a fresh observation
+// window. A min-gauge cannot be delta-snapshotted like the counters,
+// so a caller attributing clamps to phases (the CLI's per-study -v
+// lines) resets it at each phase boundary.
+func (st *SweepStats) ResetAdmission() { st.admission.Store(0) }
 
 // AddKernel folds one execution's kernel counters into the totals.
 func (st *SweepStats) AddKernel(c vtime.Counters) {
@@ -283,16 +319,19 @@ func (s *Sweep) each(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
-// rankBudget bounds the total simulated ranks in flight: every rank
+// RankBudget bounds the total simulated ranks in flight: every rank
 // is a goroutine (stack plus solver state), so a pool of NumCPU
 // paper-scale cells — fig3's largest simulates 12,288 ranks — would
 // multiply peak memory by the core count. Cells above the budget
-// still run, one at a time.
-const rankBudget = 32768
+// still run, one at a time. The admission clamp is observable:
+// SweepStats.Admission reports workers admitted vs requested, and the
+// CLI's -v surfaces it so an oversized scenario grid explains its own
+// throughput.
+const RankBudget = 32768
 
 // workersFor bounds the pool so concurrent cells stay within
-// rankBudget simulated ranks, using the sweep's largest cell as the
-// weight.
+// RankBudget simulated ranks, using the sweep's largest cell as the
+// weight, and records the admission in the stats.
 func (s *Sweep) workersFor(specs []CellSpec) int {
 	maxRanks := 1
 	for _, sp := range specs {
@@ -301,11 +340,14 @@ func (s *Sweep) workersFor(specs []CellSpec) int {
 		}
 	}
 	workers := s.workers
-	if fit := rankBudget / maxRanks; fit < workers {
+	if fit := RankBudget / maxRanks; fit < workers {
 		workers = fit
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if len(specs) > 0 {
+		s.stats.NoteAdmission(s.workers, workers)
 	}
 	return workers
 }
@@ -359,6 +401,15 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 	// GC relies on access recency instead (see resultdb.Pinner).
 	if p, ok := s.store.(resultdb.Pinner); ok {
 		defer p.Pin(keys)()
+	}
+
+	// Announce the working set before the lookup fan-out: a network
+	// store answers with one manifest fetch and resolves lookups of
+	// keys the registry lacks locally — on a sharded populate sweep
+	// that replaces a round trip per other-shard cell with one per
+	// sweep. StoreStats.PrefetchSkips counts the avoided trips.
+	if pf, ok := s.store.(resultdb.Prefetcher); ok && len(keys) > 1 {
+		pf.Prefetch(keys)
 	}
 
 	// Consult the store first; hits restore into their input-order

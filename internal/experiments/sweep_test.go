@@ -183,3 +183,59 @@ func TestSweepRunWrapsErrors(t *testing.T) {
 		t.Fatalf("label not preserved: %v", err)
 	}
 }
+
+// TestAdmissionTracking covers the rank-budget observability: the
+// stats record how many workers a compute phase requested vs how many
+// RankBudget admitted, the tightest observation wins, and an
+// unclamped sweep reports full admission.
+func TestAdmissionTracking(t *testing.T) {
+	var st SweepStats
+	if req, adm := st.Admission(); req != 0 || adm != 0 {
+		t.Fatalf("zero stats report admission %d/%d", adm, req)
+	}
+	st.NoteAdmission(16, 16)
+	st.NoteAdmission(16, 2) // tighter: wins
+	st.NoteAdmission(16, 8) // looser: ignored
+	if req, adm := st.Admission(); req != 16 || adm != 2 {
+		t.Fatalf("admission = %d/%d, want 2/16", adm, req)
+	}
+	// Reset opens a fresh window, so a later phase clamped to the very
+	// same values still reports its own observation (the CLI resets
+	// per study).
+	st.ResetAdmission()
+	if req, adm := st.Admission(); req != 0 || adm != 0 {
+		t.Fatalf("admission after reset = %d/%d, want 0/0", adm, req)
+	}
+	st.NoteAdmission(16, 2)
+	if req, adm := st.Admission(); req != 16 || adm != 2 {
+		t.Fatalf("re-recorded admission = %d/%d, want 2/16", adm, req)
+	}
+
+	// An oversized cell clamps the pool before any simulation: 16384
+	// ranks fit only twice in the budget, so 64 requested workers
+	// admit 2. The cell itself fails fast (it exceeds Lenox), which is
+	// all this test needs — admission is recorded before execution.
+	stats := &SweepStats{}
+	specs := []CellSpec{{
+		Label:   "oversized",
+		Cluster: cluster.Lenox(), Runtime: container.BareMetal{},
+		Case:  reducedLenox(),
+		Nodes: 4, Ranks: RankBudget / 2, Threads: 1,
+	}}
+	if _, err := NewSweep(Options{Parallelism: 64, Stats: stats}).Run(specs); err == nil {
+		t.Fatal("oversized cell ran")
+	}
+	if req, adm := stats.Admission(); req != 64 || adm != 2 {
+		t.Fatalf("clamped admission = %d/%d, want 2/64", adm, req)
+	}
+
+	// A small sweep at small parallelism is not clamped.
+	stats = &SweepStats{}
+	opt := Options{Parallelism: 2, Stats: stats, Case: tinyCase(alya.ArteryFSIMareNostrum4()), NodePoints: []int{4}}
+	if _, err := Fig3(opt); err != nil {
+		t.Fatal(err)
+	}
+	if req, adm := stats.Admission(); req != 2 || adm != 2 {
+		t.Fatalf("unclamped admission = %d/%d, want 2/2", adm, req)
+	}
+}

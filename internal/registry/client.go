@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,10 +44,18 @@ type Client struct {
 	retries int
 	backoff time.Duration
 
-	lookups, hits, negHits, puts, putErrors, retried atomic.Int64
+	lookups, hits, negHits, puts, putErrors, retried, prefetchSkips atomic.Int64
+
+	// absentMu guards absent: keys a manifest prefetch showed the
+	// registry lacked. Lookup consumes a mark (answers one miss
+	// locally, then returns to the wire), so a stale hint costs at
+	// most one recomputation — the same race window a direct GET has.
+	absentMu sync.Mutex
+	absent   map[string]bool
 }
 
 var _ resultdb.Store = (*Client)(nil)
+var _ resultdb.Prefetcher = (*Client)(nil)
 
 // Dial validates the base URL and performs the schema handshake:
 // one GET /v1/schema, retried like any transient failure. A server
@@ -166,11 +175,69 @@ func (c *Client) Get(key string) (core.SavedResult, bool) {
 	return resultdb.GetFrom(c, key)
 }
 
+// Prefetch fetches the registry manifest once and marks every
+// requested key the manifest lacks, so the next Lookup of each one is
+// answered as a miss without a per-cell round trip. One GET replaces
+// up to len(keys) GETs — the win for a sharded populate sweep, where
+// most keys belong to shards that have not committed yet. Best-effort:
+// a failed manifest fetch marks nothing and every lookup stays on the
+// wire path.
+func (c *Client) Prefetch(keys []string) {
+	have := c.Keys()
+	if have == nil {
+		return
+	}
+	set := make(map[string]bool, len(have))
+	for _, k := range have {
+		set[k] = true
+	}
+	c.absentMu.Lock()
+	defer c.absentMu.Unlock()
+	if c.absent == nil {
+		c.absent = make(map[string]bool)
+	}
+	for _, k := range keys {
+		if set[k] {
+			// The fresh manifest has it: drop any stale mark left by an
+			// earlier prefetch (another shard committed the cell since),
+			// so a long-lived client never answers a present cell as a
+			// miss from old news.
+			delete(c.absent, k)
+		} else {
+			c.absent[k] = true
+		}
+	}
+}
+
+// skipAbsent consumes a prefetch mark for key, reporting whether the
+// lookup can be answered as a miss without touching the wire.
+func (c *Client) skipAbsent(key string) bool {
+	c.absentMu.Lock()
+	defer c.absentMu.Unlock()
+	if !c.absent[key] {
+		return false
+	}
+	delete(c.absent, key)
+	c.prefetchSkips.Add(1)
+	return true
+}
+
+// clearAbsent drops a prefetch mark once key is known to exist (this
+// client just committed it).
+func (c *Client) clearAbsent(key string) {
+	c.absentMu.Lock()
+	delete(c.absent, key)
+	c.absentMu.Unlock()
+}
+
 // Lookup fetches a record by fingerprint. Misses and damaged records
 // return ok=false with a nil error (one recomputation); transport
 // failures and schema conflicts return the error.
 func (c *Client) Lookup(key string) (resultdb.Entry, bool, error) {
 	c.lookups.Add(1)
+	if c.skipAbsent(key) {
+		return resultdb.Entry{}, false, nil
+	}
 	status, data, err := c.do(http.MethodGet, "/v1/cells/"+url.PathEscape(key), nil)
 	if err != nil {
 		return resultdb.Entry{}, false, err
@@ -204,6 +271,7 @@ func (c *Client) Put(key string, res core.SavedResult) error {
 	if err := c.send(key, wireRecord{Schema: resultdb.SchemaVersion(), Key: key, Result: res}); err != nil {
 		return err
 	}
+	c.clearAbsent(key)
 	c.puts.Add(1)
 	return nil
 }
@@ -217,6 +285,7 @@ func (c *Client) PutError(key, msg string) error {
 	if err := c.send(key, wireRecord{Schema: resultdb.SchemaVersion(), Key: key, Error: msg}); err != nil {
 		return err
 	}
+	c.clearAbsent(key)
 	c.putErrors.Add(1)
 	return nil
 }
@@ -262,15 +331,17 @@ func (c *Client) Keys() []string {
 	return m.Keys
 }
 
-// Stats snapshots the client's traffic counters, retries included.
+// Stats snapshots the client's traffic counters, retries and
+// prefetch-avoided round trips included.
 func (c *Client) Stats() resultdb.StoreStats {
 	return resultdb.StoreStats{
-		Lookups:   c.lookups.Load(),
-		Hits:      c.hits.Load(),
-		NegHits:   c.negHits.Load(),
-		Puts:      c.puts.Load(),
-		PutErrors: c.putErrors.Load(),
-		Retries:   c.retried.Load(),
+		Lookups:       c.lookups.Load(),
+		Hits:          c.hits.Load(),
+		NegHits:       c.negHits.Load(),
+		Puts:          c.puts.Load(),
+		PutErrors:     c.putErrors.Load(),
+		Retries:       c.retried.Load(),
+		PrefetchSkips: c.prefetchSkips.Load(),
 	}
 }
 

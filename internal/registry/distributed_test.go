@@ -86,6 +86,13 @@ func TestDistributedShardsMergeByteIdentical(t *testing.T) {
 		if stats.Puts.Load() != stats.Computed.Load() {
 			t.Fatalf("shard %d: %d computed but %d committed", k, stats.Computed.Load(), stats.Puts.Load())
 		}
+		if k == 1 {
+			// The registry was empty, so the manifest prefetch must have
+			// answered every lookup locally — zero per-cell GETs.
+			if got := remote.Stats().PrefetchSkips; got != 6 {
+				t.Fatalf("first shard: %d lookups answered by prefetch, want 6", got)
+			}
+		}
 		scratch.Close()
 		remote.Close()
 	}

@@ -497,3 +497,105 @@ func TestServeTearsDownGCOnFatalError(t *testing.T) {
 		t.Fatal("Serve wedged after a fatal listener failure")
 	}
 }
+
+// TestPrefetchSkipsAbsentLookups is the shard-prefetch contract: one
+// manifest fetch lets the client answer lookups of keys the registry
+// lacks without a per-cell GET, counting the avoided round trips; the
+// mark is one-shot, so the next lookup of the same key returns to the
+// wire, and a key the client itself commits is unmarked immediately.
+func TestPrefetchSkipsAbsentLookups(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := NewServer(store, ServerOptions{})
+	var cellGets int64
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/cells/") {
+			mu.Lock()
+			cellGets++
+			mu.Unlock()
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	gets := func() int64 { mu.Lock(); defer mu.Unlock(); return cellGets }
+
+	c, err := Dial(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(key(1), sample(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Prefetch([]string{key(1), key(2)})
+
+	// Absent key: answered locally, zero wire traffic, one skip.
+	if _, ok, err := c.Lookup(key(2)); err != nil || ok {
+		t.Fatalf("prefetched-absent lookup: ok=%v err=%v", ok, err)
+	}
+	if gets() != 0 {
+		t.Fatalf("prefetched-absent lookup hit the wire (%d GETs)", gets())
+	}
+	if got := c.Stats().PrefetchSkips; got != 1 {
+		t.Fatalf("PrefetchSkips = %d, want 1", got)
+	}
+
+	// One-shot: the second lookup of the same key asks the registry.
+	if _, ok, err := c.Lookup(key(2)); err != nil || ok {
+		t.Fatalf("second lookup: ok=%v err=%v", ok, err)
+	}
+	if gets() != 1 {
+		t.Fatalf("second lookup did not hit the wire (%d GETs)", gets())
+	}
+
+	// Present key: the prefetch never marked it, the GET hits.
+	ent, ok, err := c.Lookup(key(1))
+	if err != nil || !ok || ent.Err != "" {
+		t.Fatalf("present lookup: ok=%v err=%v", ok, err)
+	}
+	if gets() != 2 {
+		t.Fatalf("present lookup skipped the wire (%d GETs)", gets())
+	}
+
+	// A key this client commits is unmarked: the next lookup must see
+	// the committed record, not a stale absence.
+	c.Prefetch([]string{key(3)})
+	if err := c.Put(key(3), sample(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Lookup(key(3)); !ok {
+		t.Fatal("lookup after own Put answered from a stale prefetch mark")
+	}
+	if got := c.Stats().PrefetchSkips; got != 1 {
+		t.Fatalf("PrefetchSkips = %d after Put-cleared mark, want 1", got)
+	}
+
+	// A re-prefetch prunes marks the fresh manifest disproves: mark a
+	// key absent, let "another shard" commit it, prefetch again — the
+	// next lookup must see the record, not the stale mark.
+	c.Prefetch([]string{key(5)})
+	other, err := Dial(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Put(key(5), sample(5)); err != nil {
+		t.Fatal(err)
+	}
+	other.Close()
+	c.Prefetch([]string{key(5)})
+	if _, ok, _ := c.Lookup(key(5)); !ok {
+		t.Fatal("stale absence mark survived a fresh manifest prefetch")
+	}
+
+	// A failed manifest fetch marks nothing: lookups keep working.
+	ts.Close()
+	c.Prefetch([]string{key(4)})
+	if got := c.Stats().PrefetchSkips; got != 1 {
+		t.Fatalf("PrefetchSkips = %d after failed prefetch, want 1", got)
+	}
+}

@@ -25,6 +25,7 @@ type Tiered struct {
 
 var _ resultdb.Store = (*Tiered)(nil)
 var _ resultdb.Pinner = (*Tiered)(nil)
+var _ resultdb.Prefetcher = (*Tiered)(nil)
 
 // NewTiered combines a local and a remote store. Both are owned by
 // the result: Close closes them.
@@ -114,21 +115,37 @@ func (t *Tiered) Keys() []string {
 }
 
 // Stats snapshots the tiered store's own traffic. Per-tier counters
-// remain available on the tiers themselves.
+// remain available on the tiers themselves; retries and prefetch
+// skips only happen in the tiers, so they are summed through.
 func (t *Tiered) Stats() resultdb.StoreStats {
+	ls, rs := t.local.Stats(), t.remote.Stats()
 	return resultdb.StoreStats{
-		Lookups:   t.lookups.Load(),
-		Hits:      t.hits.Load(),
-		NegHits:   t.negHits.Load(),
-		Puts:      t.puts.Load(),
-		PutErrors: t.putErrors.Load(),
-		Retries:   t.local.Stats().Retries + t.remote.Stats().Retries,
+		Lookups:       t.lookups.Load(),
+		Hits:          t.hits.Load(),
+		NegHits:       t.negHits.Load(),
+		Puts:          t.puts.Load(),
+		PutErrors:     t.putErrors.Load(),
+		Retries:       ls.Retries + rs.Retries,
+		PrefetchSkips: ls.PrefetchSkips + rs.PrefetchSkips,
 	}
 }
 
 // Close closes both tiers, reporting every failure.
 func (t *Tiered) Close() error {
 	return errors.Join(t.local.Close(), t.remote.Close())
+}
+
+// Prefetch forwards the working-set hint to each tier that supports
+// it — in practice the remote registry client, which answers the hint
+// with one manifest fetch. Keys the local tier already holds never
+// consult the remote tier at all (Lookup returns the local hit), so
+// forwarding the full set costs nothing beyond the single round trip.
+func (t *Tiered) Prefetch(keys []string) {
+	for _, tier := range []resultdb.Store{t.local, t.remote} {
+		if p, ok := tier.(resultdb.Prefetcher); ok {
+			p.Prefetch(keys)
+		}
+	}
 }
 
 // Pin forwards to each tier that supports pinning, so the local

@@ -152,6 +152,10 @@ type StoreStats struct {
 	Puts, PutErrors int64
 	// Retries counts transport retries (network stores only).
 	Retries int64
+	// PrefetchSkips counts lookups answered as misses locally because
+	// a manifest prefetch (Prefetcher) showed the store lacks the key —
+	// each one is a per-cell round trip a network store avoided.
+	PrefetchSkips int64
 }
 
 // Misses derives the lookups that found nothing.
@@ -166,6 +170,23 @@ func GetFrom(s Store, key string) (core.SavedResult, bool) {
 		return core.SavedResult{}, false
 	}
 	return ent.Result, true
+}
+
+// Prefetcher is implemented by stores that can learn, in one bulk
+// operation, which of an upcoming working set's keys they do not
+// have. The sweep engine announces the full key set before its lookup
+// fan-out; a network store answers by fetching the manifest once and
+// then resolving lookups of known-absent keys locally, replacing one
+// round trip per missing cell with one per sweep. The hint is
+// best-effort and advisory in both directions: a key another writer
+// commits after the prefetch may read as a miss once (the same race a
+// direct GET has — the cell is recomputed and the commit is
+// idempotent), and a failed prefetch simply leaves every lookup on
+// its normal path. Directory stores don't implement it: a local read
+// costs less than maintaining the hint.
+type Prefetcher interface {
+	// Prefetch hints that keys are about to be looked up.
+	Prefetch(keys []string)
 }
 
 // Pinner is implemented by stores whose records can be protected from

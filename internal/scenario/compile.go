@@ -1,0 +1,435 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/alya"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+)
+
+// Study is a compiled spec: every name resolved against the model,
+// every grid point expanded into an experiments.CellSpec, and the
+// report layout planned. Compilation is pure — no image builds, no
+// simulation — so `hpcstudy validate` and -list stay instant.
+type Study struct {
+	spec    Spec
+	title   string
+	cluster *cluster.Cluster
+	cs      alya.Case
+	configs []config
+	axis    []axisPoint
+	mode    alya.Mode
+	algo    mpi.AllreduceAlgo
+	columns []column
+	cells   []experiments.CellSpec
+	keys    []string
+}
+
+// config is one resolved configuration.
+type config struct {
+	label     string
+	runtime   container.Runtime
+	kind      container.BuildKind
+	imageFrom *cluster.Cluster
+}
+
+// axisPoint is one resolved grid point.
+type axisPoint struct {
+	// path locates the point in the spec for duplicate-cell errors
+	// ("grid.nodes[2]").
+	path string
+	// label names the point in cell labels ("4 nodes", "8x14").
+	label string
+	// rowCell renders the axis column of the point's table/CSV row —
+	// an int for a nodes grid, the "RxT" string for a hybrid one.
+	rowCell any
+	// x is the numeric axis value (node count / rank count).
+	x                     int
+	nodes, ranks, threads int
+}
+
+// column kinds.
+const (
+	colTime = iota
+	colSpeedup
+	colEfficiency
+)
+
+// column is one planned column group; baseline indexes configs for
+// speedup/efficiency.
+type column struct {
+	kind     int
+	baseline int
+}
+
+// Compile validates the spec against the model and expands it into
+// runnable cells. Every validation failure is a *FieldError naming
+// the offending field path.
+func (sp Spec) Compile() (*Study, error) {
+	if sp.Name == "" {
+		return nil, errf("name", "required")
+	}
+	st := &Study{spec: sp, title: sp.Title}
+	if st.title == "" {
+		st.title = sp.Name
+	}
+
+	// Cluster.
+	if sp.Cluster == "" {
+		return nil, errf("cluster", "required (known: %s)", joinKnown(clusterNames()))
+	}
+	cl, err := cluster.ByName(sp.Cluster)
+	if err != nil {
+		return nil, errf("cluster", "unknown machine %q (known: %s)", sp.Cluster, joinKnown(clusterNames()))
+	}
+	st.cluster = cl
+
+	// Case.
+	if sp.Case.Name == "" {
+		return nil, errf("case.name", "required (known: %s)", joinKnown(alya.CaseNames()))
+	}
+	cs, err := alya.CaseByName(sp.Case.Name)
+	if err != nil {
+		return nil, errf("case.name", "unknown case %q (known: %s)", sp.Case.Name, joinKnown(alya.CaseNames()))
+	}
+	for _, f := range []struct {
+		path string
+		v    int
+		dst  *int
+	}{
+		{"case.steps", sp.Case.Steps, &cs.Steps},
+		{"case.sim_steps", sp.Case.SimSteps, &cs.SimSteps},
+		{"case.model_cg_iters", sp.Case.ModelCGIters, &cs.ModelCGIters},
+	} {
+		if f.v < 0 {
+			return nil, errf(f.path, "must be ≥ 1 (0 keeps the case's own value), got %d", f.v)
+		}
+		if f.v > 0 {
+			*f.dst = f.v
+		}
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, errf("case", "%v", err)
+	}
+	st.cs = cs
+
+	// Configs.
+	if len(sp.Configs) == 0 {
+		return nil, errf("configs", "at least one configuration is required")
+	}
+	seenLabels := make(map[string]int)
+	for i, c := range sp.Configs {
+		path := fmt.Sprintf("configs[%d]", i)
+		if c.Runtime == "" {
+			return nil, errf(path+".runtime", "required (known: %s)", joinKnown(runtimeNames()))
+		}
+		rt, err := container.ByName(c.Runtime)
+		if err != nil {
+			return nil, errf(path+".runtime", "unknown runtime %q (known: %s)", c.Runtime, joinKnown(runtimeNames()))
+		}
+		if c.Version != "" {
+			if rt, err = container.ByNameVersion(c.Runtime, c.Version); err != nil {
+				return nil, errf(path+".version", "%v", err)
+			}
+		}
+		kind, err := parseTechnique(c.Technique)
+		if err != nil {
+			return nil, errf(path+".technique", "%v", err)
+		}
+		var imageFrom *cluster.Cluster
+		if c.ImageFrom != "" && c.ImageFrom != sp.Cluster {
+			if imageFrom, err = cluster.ByName(c.ImageFrom); err != nil {
+				return nil, errf(path+".image_from", "unknown machine %q (known: %s)", c.ImageFrom, joinKnown(clusterNames()))
+			}
+		}
+		label := c.Label
+		if label == "" {
+			label = rt.Name()
+		}
+		if prev, dup := seenLabels[label]; dup {
+			return nil, errf(path+".label", "duplicate label %q (also configs[%d])", label, prev)
+		}
+		seenLabels[label] = i
+		st.configs = append(st.configs, config{label: label, runtime: rt, kind: kind, imageFrom: imageFrom})
+	}
+
+	// Grid.
+	if err := st.compileGrid(sp.Grid); err != nil {
+		return nil, err
+	}
+
+	// Mode and allreduce.
+	if st.mode, err = parseMode(sp.Mode); err != nil {
+		return nil, errf("mode", "%v", err)
+	}
+	if st.algo, err = parseAllreduce(sp.Allreduce); err != nil {
+		return nil, errf("allreduce", "%v", err)
+	}
+
+	// Report columns.
+	cols := sp.Report.Columns
+	if len(cols) == 0 {
+		cols = []ColumnSpec{{Kind: "time"}}
+	}
+	for i, c := range cols {
+		path := fmt.Sprintf("report.columns[%d]", i)
+		var kind int
+		switch c.Kind {
+		case "time":
+			kind = colTime
+		case "speedup":
+			kind = colSpeedup
+		case "efficiency":
+			kind = colEfficiency
+		default:
+			return nil, errf(path+".kind", "unknown kind %q (time, speedup, efficiency)", c.Kind)
+		}
+		baseline := -1
+		if kind == colTime {
+			if c.Baseline != "" {
+				return nil, errf(path+".baseline", "only meaningful for speedup/efficiency columns")
+			}
+		} else {
+			if c.Baseline == "" {
+				return nil, errf(path+".baseline", "required for %s columns (name a config label)", c.Kind)
+			}
+			ci, ok := seenLabels[c.Baseline]
+			if !ok {
+				return nil, errf(path+".baseline", "unknown config %q (configs: %s)", c.Baseline, joinKnown(st.configLabels()))
+			}
+			baseline = ci
+		}
+		st.columns = append(st.columns, column{kind: kind, baseline: baseline})
+	}
+
+	// Cells: configs outer, axis inner — the same sweep order the
+	// hand-coded studies enumerate, so store pinning, sharding, and
+	// stats line up cell for cell.
+	st.cells = make([]experiments.CellSpec, 0, len(st.configs)*len(st.axis))
+	st.keys = make([]string, 0, cap(st.cells))
+	seenCells := make(map[string]string)
+	for ci := range st.configs {
+		cfg := &st.configs[ci]
+		for ai := range st.axis {
+			ax := &st.axis[ai]
+			cell := experiments.CellSpec{
+				Label:   fmt.Sprintf("%s %s %s", sp.Name, cfg.label, ax.label),
+				Cluster: st.cluster, Runtime: cfg.runtime, Kind: cfg.kind,
+				ImageFrom: cfg.imageFrom,
+				Case:      st.cs,
+				Nodes:     ax.nodes, Ranks: ax.ranks, Threads: ax.threads,
+				Mode: st.mode, Allreduce: st.algo,
+			}
+			key, err := cell.Key()
+			if err != nil {
+				return nil, errf(fmt.Sprintf("configs[%d] x %s", ci, ax.path), "%v", err)
+			}
+			at := fmt.Sprintf("configs[%d] x %s", ci, ax.path)
+			if prev, dup := seenCells[key]; dup {
+				return nil, errf(at, "duplicate cell (same fingerprint as %s)", prev)
+			}
+			seenCells[key] = at
+			st.cells = append(st.cells, cell)
+			st.keys = append(st.keys, key)
+		}
+	}
+	return st, nil
+}
+
+// compileGrid expands the grid into axis points.
+func (st *Study) compileGrid(g GridSpec) error {
+	switch {
+	case len(g.Nodes) > 0 && len(g.Hybrid) > 0:
+		return errf("grid", "nodes and hybrid are mutually exclusive")
+	case len(g.Nodes) == 0 && len(g.Hybrid) == 0:
+		return errf("grid", "empty grid: set nodes or hybrid")
+	case len(g.Nodes) > 0:
+		if g.FixedNodes != 0 {
+			return errf("grid.fixed_nodes", "only meaningful with a hybrid grid")
+		}
+		rpn := g.RanksPerNode
+		switch {
+		case rpn < 0:
+			return errf("grid.ranks_per_node", "must be ≥ 1 (0 means the cluster's %d cores per node), got %d",
+				st.cluster.CoresPerNode(), rpn)
+		case rpn == 0:
+			rpn = st.cluster.CoresPerNode()
+		}
+		threads := g.Threads
+		switch {
+		case threads < 0:
+			return errf("grid.threads", "must be ≥ 1 (0 means 1), got %d", threads)
+		case threads == 0:
+			threads = 1
+		}
+		// Mirror the scheduler's capacity rule eagerly, so an
+		// oversubscribed spec fails validate with a field path instead
+		// of failing every cell at run time (and poisoning the negative
+		// cache with pure spec mistakes).
+		if cores := st.cluster.CoresPerNode(); rpn*threads > cores {
+			path := "grid.threads"
+			if g.RanksPerNode != 0 {
+				path = "grid.ranks_per_node"
+			}
+			return errf(path, "%d ranks/node × %d threads oversubscribe %s's %d cores per node",
+				rpn, threads, st.cluster.Name, cores)
+		}
+		seen := make(map[int]int)
+		for i, n := range g.Nodes {
+			path := fmt.Sprintf("grid.nodes[%d]", i)
+			if n < 1 {
+				return errf(path, "must be ≥ 1, got %d", n)
+			}
+			if n > st.cluster.TotalNodes {
+				return errf(path, "%d nodes exceed %s's %d", n, st.cluster.Name, st.cluster.TotalNodes)
+			}
+			if prev, dup := seen[n]; dup {
+				return errf(path, "duplicate node count %d (also grid.nodes[%d])", n, prev)
+			}
+			seen[n] = i
+			st.axis = append(st.axis, axisPoint{
+				path: path, label: fmt.Sprintf("%d nodes", n), rowCell: n,
+				x: n, nodes: n, ranks: n * rpn, threads: threads,
+			})
+		}
+	default: // hybrid
+		if g.RanksPerNode != 0 {
+			return errf("grid.ranks_per_node", "only meaningful with a nodes grid")
+		}
+		if g.Threads != 0 {
+			return errf("grid.threads", "only meaningful with a nodes grid")
+		}
+		nodes := g.FixedNodes
+		switch {
+		case nodes < 0:
+			return errf("grid.fixed_nodes", "must be ≥ 1 (0 means the whole machine), got %d", nodes)
+		case nodes == 0:
+			nodes = st.cluster.TotalNodes
+		case nodes > st.cluster.TotalNodes:
+			return errf("grid.fixed_nodes", "%d nodes exceed %s's %d", nodes, st.cluster.Name, st.cluster.TotalNodes)
+		}
+		seen := make(map[HybridSpec]int)
+		for i, h := range g.Hybrid {
+			path := fmt.Sprintf("grid.hybrid[%d]", i)
+			if h.Ranks < 1 {
+				return errf(path+".ranks", "must be ≥ 1, got %d", h.Ranks)
+			}
+			if h.Threads < 1 {
+				return errf(path+".threads", "must be ≥ 1, got %d", h.Threads)
+			}
+			if prev, dup := seen[h]; dup {
+				return errf(path, "duplicate decomposition %dx%d (also grid.hybrid[%d])", h.Ranks, h.Threads, prev)
+			}
+			seen[h] = i
+			// The scheduler's placement rules, checked eagerly: ranks
+			// spread evenly over the nodes and never oversubscribe
+			// cores.
+			if h.Ranks%nodes != 0 {
+				return errf(path+".ranks", "%d ranks do not divide over %d nodes", h.Ranks, nodes)
+			}
+			if cores := st.cluster.CoresPerNode(); (h.Ranks/nodes)*h.Threads > cores {
+				return errf(path, "%d ranks/node × %d threads oversubscribe %s's %d cores per node",
+					h.Ranks/nodes, h.Threads, st.cluster.Name, cores)
+			}
+			label := fmt.Sprintf("%dx%d", h.Ranks, h.Threads)
+			st.axis = append(st.axis, axisPoint{
+				path: path, label: label, rowCell: label,
+				x: h.Ranks, nodes: nodes, ranks: h.Ranks, threads: h.Threads,
+			})
+		}
+	}
+	return nil
+}
+
+// Name returns the spec's study name.
+func (st *Study) Name() string { return st.spec.Name }
+
+// Title returns the rendered title.
+func (st *Study) Title() string { return st.title }
+
+// Cells returns the compiled cells in sweep order. The slice is owned
+// by the study; callers must not mutate it.
+func (st *Study) Cells() []experiments.CellSpec { return st.cells }
+
+// Keys returns each cell's result-store content address, aligned with
+// Cells.
+func (st *Study) Keys() []string { return st.keys }
+
+// Shape summarises the compiled study for validate/list output.
+func (st *Study) Shape() string {
+	return fmt.Sprintf("%d configs x %d grid points = %d cells on %s",
+		len(st.configs), len(st.axis), len(st.cells), st.cluster.Name)
+}
+
+// configLabels lists the resolved config labels in order.
+func (st *Study) configLabels() []string {
+	out := make([]string, len(st.configs))
+	for i := range st.configs {
+		out[i] = st.configs[i].label
+	}
+	return out
+}
+
+// clusterNames lists the preset machines for error messages.
+func clusterNames() []string {
+	all := cluster.All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// runtimeNames lists the runtimes for error messages.
+func runtimeNames() []string {
+	all := container.Runtimes()
+	out := make([]string, len(all))
+	for i, rt := range all {
+		out[i] = rt.Name()
+	}
+	return out
+}
+
+// parseTechnique resolves a build-technique display name.
+func parseTechnique(s string) (container.BuildKind, error) {
+	switch s {
+	case "", container.SystemSpecific.String():
+		return container.SystemSpecific, nil
+	case container.SelfContained.String():
+		return container.SelfContained, nil
+	}
+	return 0, fmt.Errorf("unknown technique %q (%s, %s)", s, container.SystemSpecific, container.SelfContained)
+}
+
+// parseMode resolves an execution-mode display name.
+func parseMode(s string) (alya.Mode, error) {
+	switch s {
+	case "", alya.ModeModel.String():
+		return alya.ModeModel, nil
+	case alya.ModeReal.String():
+		return alya.ModeReal, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (%s, %s)", s, alya.ModeModel, alya.ModeReal)
+}
+
+// parseAllreduce resolves an allreduce algorithm display name.
+func parseAllreduce(s string) (mpi.AllreduceAlgo, error) {
+	algos := []mpi.AllreduceAlgo{
+		mpi.AllreduceRecursiveDoubling, mpi.AllreduceRing,
+		mpi.AllreduceReduceBcast, mpi.AllreduceHierarchical,
+	}
+	if s == "" {
+		return mpi.AllreduceRecursiveDoubling, nil
+	}
+	names := make([]string, len(algos))
+	for i, a := range algos {
+		if s == a.String() {
+			return a, nil
+		}
+		names[i] = a.String()
+	}
+	return 0, fmt.Errorf("unknown allreduce %q (%s)", s, joinKnown(names))
+}

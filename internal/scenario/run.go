@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// Result holds a scenario run: one elapsed-time series per config
+// over the grid axis, plus the network path each config used.
+type Result struct {
+	study *Study
+	// Series holds one curve per config in spec order; Point.X is the
+	// axis value (node count or rank count).
+	Series []metrics.Series
+	// Fabrics records each config's network path (its last grid
+	// point's, as the hand-coded figures do).
+	Fabrics []string
+}
+
+// Run executes the study through the shared sweep engine, inheriting
+// everything Options carries: parallelism, the result store (local
+// directory, registry client, or tiered), sharding, FromStore merge
+// assembly, negative caching, pinning, and stats. The spec defines
+// the workload and grid, so Options.Case and Options.NodePoints are
+// not consulted.
+func (st *Study) Run(opt experiments.Options) (*Result, error) {
+	results, err := experiments.NewSweep(opt).Run(st.cells)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{study: st}
+	for ci := range st.configs {
+		s := metrics.Series{Label: st.configs[ci].label}
+		fabric := ""
+		for ai := range st.axis {
+			res := results[ci*len(st.axis)+ai]
+			s.Points = append(s.Points, metrics.Point{X: st.axis[ai].x, T: res.Exec.Elapsed})
+			fabric = res.Exec.FabricPath
+		}
+		out.Series = append(out.Series, s)
+		out.Fabrics = append(out.Fabrics, fabric)
+	}
+	return out, nil
+}
+
+// SeriesByLabel finds a curve by config label.
+func (r *Result) SeriesByLabel(label string) (*metrics.Series, error) {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: %s has no series %q", r.study.Name(), label)
+}
+
+// axisHeader returns the table axis header, defaulted per grid kind.
+func (st *Study) axisHeader() string {
+	if h := st.spec.Report.AxisHeader; h != "" {
+		return h
+	}
+	if len(st.spec.Grid.Hybrid) > 0 {
+		return "MPI x threads"
+	}
+	return "Nodes"
+}
+
+// csvAxisHeader returns the CSV axis header, defaulted per grid kind.
+func (st *Study) csvAxisHeader() string {
+	if h := st.spec.Report.CSVAxisHeader; h != "" {
+		return h
+	}
+	if len(st.spec.Grid.Hybrid) > 0 {
+		return "config"
+	}
+	return "nodes"
+}
+
+// header renders one sub-column header for the table.
+func (r *Result) header(col column, ci int) string {
+	label := r.study.configs[ci].label
+	switch col.kind {
+	case colSpeedup:
+		return label + " speedup"
+	case colEfficiency:
+		return label + " eff"
+	default:
+		if r.study.spec.Report.ShowFabric {
+			return fmt.Sprintf("%s [s] (%s)", label, r.Fabrics[ci])
+		}
+		return label + " [s]"
+	}
+}
+
+// csvHeader renders one sub-column header for CSV.
+func (r *Result) csvHeader(col column, ci int) string {
+	label := r.study.configs[ci].label
+	switch col.kind {
+	case colSpeedup:
+		return label + "_speedup"
+	case colEfficiency:
+		return label + "_efficiency"
+	default:
+		return label
+	}
+}
+
+// value computes one sub-column value at a grid row.
+//
+// Speedup is the baseline config's time over this config's at the
+// same grid point (>1 = faster than baseline). Efficiency is the
+// scaling efficiency against the baseline's first point: speedup vs
+// that time, divided by the ideal axis ratio x/x₀.
+func (r *Result) value(col column, ci, row int) float64 {
+	t := float64(r.Series[ci].Points[row].T)
+	if t <= 0 {
+		return 0
+	}
+	switch col.kind {
+	case colSpeedup:
+		return float64(r.Series[col.baseline].Points[row].T) / t
+	case colEfficiency:
+		base := float64(r.Series[col.baseline].Points[0].T)
+		x0, x := float64(r.study.axis[0].x), float64(r.study.axis[row].x)
+		if x0 <= 0 || x <= 0 {
+			return 0
+		}
+		return (base / t) / (x / x0)
+	default:
+		return t
+	}
+}
+
+// Render writes the study as an aligned table: one row per grid
+// point, one column per (column group, config) pair.
+func (r *Result) Render(w io.Writer) {
+	headers := []string{r.study.axisHeader()}
+	for _, col := range r.study.columns {
+		for ci := range r.study.configs {
+			headers = append(headers, r.header(col, ci))
+		}
+	}
+	t := report.NewTable(r.study.title, headers...)
+	for row := range r.study.axis {
+		cells := []interface{}{r.study.axis[row].rowCell}
+		for _, col := range r.study.columns {
+			for ci := range r.study.configs {
+				v := r.value(col, ci, row)
+				if col.kind == colTime {
+					cells = append(cells, report.Seconds(r.Series[ci].Points[row].T))
+				} else {
+					cells = append(cells, fmt.Sprintf("%.2f", v))
+				}
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+	if r.study.spec.Report.Chart {
+		fmt.Fprintln(w)
+		r.RenderChart(w)
+	}
+}
+
+// CSV writes the study as machine-readable data, raw floats.
+func (r *Result) CSV(w io.Writer) {
+	headers := []string{r.study.csvAxisHeader()}
+	for _, col := range r.study.columns {
+		for ci := range r.study.configs {
+			headers = append(headers, r.csvHeader(col, ci))
+		}
+	}
+	t := report.NewTable("", headers...)
+	for row := range r.study.axis {
+		cells := []interface{}{r.study.axis[row].rowCell}
+		for _, col := range r.study.columns {
+			for ci := range r.study.configs {
+				cells = append(cells, r.value(col, ci, row))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.CSV(w)
+}
+
+// RenderChart writes the elapsed-time curves as an ASCII chart.
+func (r *Result) RenderChart(w io.Writer) {
+	c := report.Chart{Title: r.study.title, YLabel: "seconds", Series: r.Series}
+	c.Render(w)
+}
