@@ -157,6 +157,7 @@ func printUsage(w io.Writer, verb string) {
 			fmt.Fprintf(w, "  %-22s %s\n", v[0], v[1])
 		}
 		fmt.Fprintf(w, "\nrun `hpcstudy help <verb>` (or `hpcstudy <verb> -h`) for per-verb flags.\n")
+		fmt.Fprintf(w, "\nthe determinism and kernel invariants behind every figure are machine-enforced:\nbuild ./cmd/repolint and run `go vet -vettool=$(pwd)/repolint ./...` (CI gates on\nit) before touching kernel, sweep, or wire/store code.\n")
 		fmt.Fprintf(w, "\nstudy/run/merge flags:\n")
 		printVerbFlags(w, studyFamilyFlags)
 		return
@@ -501,6 +502,10 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 					name, st.Hits-st0.Hits, st.Misses()-st0.Misses(), st.PrefetchSkips-st0.PrefetchSkips,
 					st.Puts-st0.Puts, st.PutErrors-st0.PutErrors, st.NegHits-st0.NegHits, st.Retries-st0.Retries)
 			}
+			// Anyone changing what these counters measure (the vtime
+			// kernel, rank bodies, the sweep coordinator) must keep
+			// `go vet -vettool` with cmd/repolint green — the kernelsafe
+			// analyzer is what guarantees these numbers stay meaningful.
 			fmt.Fprintf(w, "  %s kernel: %d switches (%d ping-pong), %d sync fast-path, %d heap ops, %d wakes (%d batched flushes)\n",
 				name, k.Switches, k.PingPong, k.SyncFast, k.HeapOps, k.Wakes, k.WakeBatches)
 		}

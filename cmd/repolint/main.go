@@ -1,0 +1,14 @@
+// Command repolint runs the repository's static-analysis suite (see
+// internal/lint). It is dual-mode:
+//
+//	repolint ./...                                 standalone
+//	go vet -vettool=$(command -v repolint) ./...   as a vet tool
+//
+// The standalone mode re-execs go vet against itself, so both paths
+// run the identical protocol and produce identical findings. Exit
+// codes: 0 clean, 1 operational failure, nonzero on findings.
+package main
+
+import "repro/internal/lint"
+
+func main() { lint.Main() }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the repolint binary once per test that needs it.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "repolint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building repolint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module named "repro", so
+// DefaultConfig's package globs apply to it exactly as they do to
+// this repository.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runIn(t *testing.T, dir string, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return string(out), ee.ExitCode()
+		}
+		t.Fatalf("running %s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out), 0
+}
+
+const goMod = "module repro\n\ngo 1.24\n"
+
+const badKrylov = `package krylov
+
+import "time"
+
+func Stamp() int64 { return time.Now().Unix() }
+`
+
+const allowedKrylov = `package krylov
+
+import "time"
+
+//lint:allow wallclock -- test fixture: timestamp never reaches simulated results
+func Stamp() int64 { return time.Now().Unix() }
+`
+
+func TestVettoolFindsViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                   goMod,
+		"internal/krylov/stamp.go": badKrylov,
+	})
+	out, code := runIn(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool exited 0 on a module with a wallclock violation\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now") || !strings.Contains(out, "[wallclock]") {
+		t.Fatalf("expected a tagged time.Now finding, got:\n%s", out)
+	}
+}
+
+func TestVettoolAcceptsSuppression(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                   goMod,
+		"internal/krylov/stamp.go": allowedKrylov,
+	})
+	out, code := runIn(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if code != 0 {
+		t.Fatalf("go vet -vettool rejected a justified //lint:allow (exit %d):\n%s", code, out)
+	}
+}
+
+func TestStandaloneMatchesVettool(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                   goMod,
+		"internal/krylov/stamp.go": badKrylov,
+	})
+	out, code := runIn(t, dir, bin, "./...")
+	if code == 0 {
+		t.Fatalf("standalone repolint exited 0 on a module with a wallclock violation\n%s", out)
+	}
+	if !strings.Contains(out, "[wallclock]") {
+		t.Fatalf("expected a tagged wallclock finding, got:\n%s", out)
+	}
+}
+
+func TestAnalyzerSelectionFlag(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                   goMod,
+		"internal/krylov/stamp.go": badKrylov,
+	})
+	// With only wiretag selected, the wallclock violation is not run.
+	out, code := runIn(t, dir, "go", "vet", "-vettool="+bin, "-wiretag", "./...")
+	if code != 0 {
+		t.Fatalf("selecting -wiretag should skip the wallclock finding (exit %d):\n%s", code, out)
+	}
+}

@@ -49,35 +49,35 @@ func (k Kind) String() string {
 // Case is one benchmark configuration of Alya.
 type Case struct {
 	// Name identifies the case in reports.
-	Name string
+	Name string `json:"Name"`
 	// Kind selects CFD or FSI.
-	Kind Kind
+	Kind Kind `json:"Kind"`
 	// FluidMesh is the artery lumen mesh.
-	FluidMesh mesh.Mesh
+	FluidMesh mesh.Mesh `json:"FluidMesh"`
 	// SolidMesh is the artery wall mesh (FSI only).
-	SolidMesh mesh.Mesh
+	SolidMesh mesh.Mesh `json:"SolidMesh"`
 	// FluidParams and SolidParams configure the physics (ModeReal).
-	FluidParams navier.Params
-	SolidParams solid.Params
+	FluidParams navier.Params `json:"FluidParams"`
+	SolidParams solid.Params  `json:"SolidParams"`
 	// Steps is the number of physical time steps the reported elapsed
 	// time covers (the paper's runs are fixed-length simulations).
-	Steps int
+	Steps int `json:"Steps"`
 	// SimSteps is how many steps are actually simulated; the per-step
 	// time is steady-state, so Elapsed = TimePerStep × Steps. Must be
 	// ≥ 1 and ≤ Steps.
-	SimSteps int
+	SimSteps int `json:"SimSteps"`
 	// ModelCGIters fixes the pressure-CG iteration count per step in
 	// ModeModel (ModeReal iterates to tolerance).
-	ModelCGIters int
+	ModelCGIters int `json:"ModelCGIters"`
 	// SolidSubsteps is how many explicit structural steps run per
 	// fluid step (FSI; the wall's stable dt is smaller).
-	SolidSubsteps int
+	SolidSubsteps int `json:"SolidSubsteps"`
 	// CouplingIters is the number of staggered coupling exchanges per
 	// step (FSI).
-	CouplingIters int
+	CouplingIters int `json:"CouplingIters"`
 	// FluidFraction is the share of ranks given to the fluid code
 	// (FSI); the remainder runs the solid code.
-	FluidFraction float64
+	FluidFraction float64 `json:"FluidFraction"`
 }
 
 // Validate reports an inconsistent case.

@@ -86,26 +86,28 @@ type Spec struct {
 // Result reports one execution cell.
 type Result struct {
 	// Case, Runtime, FabricPath identify the cell.
-	Case       string
-	Runtime    string
-	FabricPath string
+	Case       string `json:"Case"`
+	Runtime    string `json:"Runtime"`
+	FabricPath string `json:"FabricPath"`
 	// Nodes, Ranks, Threads echo the configuration.
-	Nodes, Ranks, Threads int
+	Nodes   int `json:"Nodes"`
+	Ranks   int `json:"Ranks"`
+	Threads int `json:"Threads"`
 	// TimePerStep is the steady-state time per physical step.
-	TimePerStep units.Seconds
+	TimePerStep units.Seconds `json:"TimePerStep"`
 	// Elapsed is TimePerStep × Case.Steps — the figure's y axis.
-	Elapsed units.Seconds
+	Elapsed units.Seconds `json:"Elapsed"`
 	// LaunchTime covers srun fan-out, container start skew, and the
 	// initial barrier.
-	LaunchTime units.Seconds
+	LaunchTime units.Seconds `json:"LaunchTime"`
 	// MPI holds the transport statistics.
-	MPI mpi.Stats
+	MPI mpi.Stats `json:"MPI"`
 	// CommFraction is max rank MPI time / total solver time.
-	CommFraction float64
+	CommFraction float64 `json:"CommFraction"`
 	// AvgCGIters is the mean pressure-CG iteration count per step.
-	AvgCGIters float64
+	AvgCGIters float64 `json:"AvgCGIters"`
 	// MaxDivergence is the final max |∇·u| (ModeReal only).
-	MaxDivergence float64
+	MaxDivergence float64 `json:"MaxDivergence"`
 }
 
 // Run executes one cell.

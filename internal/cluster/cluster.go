@@ -14,28 +14,28 @@ import (
 // Cluster is one HPC machine.
 type Cluster struct {
 	// Name is the machine name, e.g. "MareNostrum4".
-	Name string
+	Name string `json:"Name"`
 	// Node describes every (homogeneous) compute node.
-	Node topology.NodeSpec
+	Node topology.NodeSpec `json:"Node"`
 	// TotalNodes is the machine size; allocations cannot exceed it.
-	TotalNodes int
+	TotalNodes int `json:"TotalNodes"`
 	// Interconnect is the inter-node network.
-	Interconnect fabric.Fabric
+	Interconnect fabric.Fabric `json:"Interconnect"`
 	// SharedFS is the parallel filesystem visible from all nodes.
-	SharedFS storage.ParallelFS
+	SharedFS storage.ParallelFS `json:"SharedFS"`
 	// LocalDisk is the per-node drive (Docker image storage).
-	LocalDisk storage.LocalDisk
+	LocalDisk storage.LocalDisk `json:"LocalDisk"`
 	// RegistryBW and RegistryRTT describe the uplink to the external
 	// image registry (Docker Hub class).
-	RegistryBW  units.Rate
-	RegistryRTT units.Seconds
+	RegistryBW  units.Rate    `json:"RegistryBW"`
+	RegistryRTT units.Seconds `json:"RegistryRTT"`
 	// HostABI names the host's MPI/fabric software stack. A
 	// system-specific image binds the host stack at run time and
 	// therefore only works where the ABI matches.
-	HostABI string
+	HostABI string `json:"HostABI"`
 	// AdminRights records whether the study had root on the machine —
 	// Docker requires it, which is why only Lenox ran Docker.
-	AdminRights bool
+	AdminRights bool `json:"AdminRights"`
 }
 
 // Validate checks the full configuration.

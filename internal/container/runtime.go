@@ -32,25 +32,25 @@ type ExecProfile struct {
 // metric.
 type DeployReport struct {
 	// Runtime and Image identify the deployment.
-	Runtime string
-	Image   string
+	Runtime string `json:"Runtime"`
+	Image   string `json:"Image"`
 	// Nodes is the allocation size.
-	Nodes int
+	Nodes int `json:"Nodes"`
 	// WireSize is the bytes fetched from the registry (after layer
 	// dedup), summed over all fetches.
-	WireSize units.ByteSize
+	WireSize units.ByteSize `json:"WireSize"`
 	// StoredSize is the image's footprint once staged.
-	StoredSize units.ByteSize
+	StoredSize units.ByteSize `json:"StoredSize"`
 	// PullTime is registry→cluster transfer time.
-	PullTime units.Seconds
+	PullTime units.Seconds `json:"PullTime"`
 	// ConvertTime is format-conversion time (docker→SIF, gateway
 	// squashing). Zero when no conversion happens.
-	ConvertTime units.Seconds
+	ConvertTime units.Seconds `json:"ConvertTime"`
 	// StageTime distributes/extracts the image onto compute nodes.
-	StageTime units.Seconds
+	StageTime units.Seconds `json:"StageTime"`
 	// StartTime instantiates the container environment on every node
 	// (daemon container create, SUID mount, loop mount).
-	StartTime units.Seconds
+	StartTime units.Seconds `json:"StartTime"`
 }
 
 // Total is the full deployment overhead.

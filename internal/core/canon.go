@@ -44,18 +44,18 @@ type CellID struct {
 // interface is split into its display name (the concrete type) and
 // its concrete value (the version fields).
 type canonCell struct {
-	Cluster       *cluster.Cluster
-	Runtime       string
-	RuntimeConfig interface{}
-	Kind          string
+	Cluster       *cluster.Cluster `json:"Cluster"`
+	Runtime       string           `json:"Runtime"`
+	RuntimeConfig interface{}      `json:"RuntimeConfig"`
+	Kind          string           `json:"Kind"`
 	ImageFrom     *cluster.Cluster `json:",omitempty"`
-	Case          alya.Case
-	Nodes         int
-	Ranks         int
-	Threads       int
-	Placement     string
-	Mode          string
-	Allreduce     string
+	Case          alya.Case        `json:"Case"`
+	Nodes         int              `json:"Nodes"`
+	Ranks         int              `json:"Ranks"`
+	Threads       int              `json:"Threads"`
+	Placement     string           `json:"Placement"`
+	Mode          string           `json:"Mode"`
+	Allreduce     string           `json:"Allreduce"`
 }
 
 // Canon returns the canonical encoding of the identity: JSON with the
@@ -100,8 +100,8 @@ func (id CellID) Fingerprint() (string, error) {
 // units), and Go's JSON encoder emits floats in the shortest form
 // that round-trips exactly, so a saved result restores bit-identical.
 type SavedResult struct {
-	Deploy container.DeployReport
-	Exec   alya.Result
+	Deploy container.DeployReport `json:"Deploy"`
+	Exec   alya.Result            `json:"Exec"`
 }
 
 // Saved extracts the persistable portion of a result.

@@ -54,10 +54,10 @@ func checksumOf(sig []byte) string {
 // the constant itself is not exported.
 func modelSignature(clusters []*cluster.Cluster) ([]byte, error) {
 	type runtimeCell struct {
-		Cluster   string
-		Technique string
+		Cluster   string `json:"Cluster"`
+		Technique string `json:"Technique"`
 		// Available is the availability verdict ("" = runnable).
-		Available string
+		Available string `json:"Available"`
 		// Image, Deploy, Exec capture the runtime's cost tables as
 		// evaluated data. Omitted where the runtime is unavailable.
 		Image  *container.Image        `json:",omitempty"`

@@ -19,29 +19,29 @@ import (
 // Transport is the cost model for one message path.
 type Transport struct {
 	// Name identifies the path in reports, e.g. "omni-path", "ipoib-tcp".
-	Name string
+	Name string `json:"Name"`
 	// Latency is the zero-byte end-to-end latency (LogGP L).
-	Latency units.Seconds
+	Latency units.Seconds `json:"Latency"`
 	// Overhead is the per-message CPU time burned at the sending and at
 	// the receiving endpoint (LogGP o). It both delays the message and
 	// steals core time from computation.
-	Overhead units.Seconds
+	Overhead units.Seconds `json:"Overhead"`
 	// Bandwidth is the per-stream saturation bandwidth (1/G).
-	Bandwidth units.Rate
+	Bandwidth units.Rate `json:"Bandwidth"`
 	// EagerThreshold is the message size at or below which the eager
 	// protocol applies: the sender fires and forgets. Larger messages
 	// use rendezvous: an extra half round-trip handshake and the
 	// transfer cannot start before the receiver arrives.
-	EagerThreshold units.ByteSize
+	EagerThreshold units.ByteSize `json:"EagerThreshold"`
 	// PerPacketCPU is extra CPU time per MTU-sized packet. Zero for
 	// offloaded fabrics; significant for the Docker bridge, where every
 	// packet traverses veth, the bridge, and iptables NAT in software.
-	PerPacketCPU units.Seconds
+	PerPacketCPU units.Seconds `json:"PerPacketCPU"`
 	// MTU is the packet size used with PerPacketCPU.
-	MTU units.ByteSize
+	MTU units.ByteSize `json:"MTU"`
 	// SharesNIC marks paths that serialize on the node's injection
 	// port, so concurrent senders on one node contend.
-	SharesNIC bool
+	SharesNIC bool `json:"SharesNIC"`
 }
 
 // Validate reports an unusable transport configuration.
@@ -97,18 +97,18 @@ func (t *Transport) WireTime(size units.ByteSize) units.Seconds {
 // Fabric is one physical interconnect with its available paths.
 type Fabric struct {
 	// Name identifies the interconnect, e.g. "100Gb/s Omni-Path".
-	Name string
+	Name string `json:"Name"`
 	// Native is the host-integrated path (verbs, PSM2, kernel TCP for
 	// Ethernet-only clusters). Bare-metal runs and system-specific
 	// containers use it.
-	Native Transport
+	Native Transport `json:"Native"`
 	// TCPFallback is the path a self-contained container's bundled MPI
 	// reaches without the host fabric libraries: TCP over whatever IP
 	// interface the fabric exposes (IPoIB, IPoOPA, or plain Ethernet).
-	TCPFallback Transport
+	TCPFallback Transport `json:"TCPFallback"`
 	// InjectionRate caps a node's aggregate injection bandwidth; all
 	// inter-node transfers from one node serialize against it.
-	InjectionRate units.Rate
+	InjectionRate units.Rate `json:"InjectionRate"`
 }
 
 // Validate checks both paths and the injection rate.

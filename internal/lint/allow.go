@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowName is the meta-analyzer validating //lint:allow directives.
+const allowName = "lintallow"
+
+const allowPrefix = "lint:allow"
+
+// An allowIndex records which analyzers are suppressed on which lines
+// of which files: file name → line → analyzer name set.
+type allowIndex map[string]map[int]map[string]bool
+
+// covers reports whether the diagnostic position carries an allow for
+// the named check.
+func (idx allowIndex) covers(fset *token.FileSet, pos token.Pos, check string) bool {
+	p := fset.Position(pos)
+	return idx[p.Filename][p.Line][check]
+}
+
+// parseAllows scans every comment for //lint:allow directives,
+// building the suppression index. A directive covers its own line
+// (trailing comments) and the line below it (standalone comments
+// above the code they excuse). Malformed directives — no analyzer
+// name, an unknown analyzer name, or a missing "-- reason" — are
+// reported through report when it is non-nil; known may be nil to
+// skip name validation.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(pos token.Pos, msg string)) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ',' {
+					continue // e.g. lint:allowance — not this directive
+				}
+				names, reason, hasReason := cutReason(rest)
+				if len(names) == 0 {
+					if report != nil {
+						report(c.Pos(), "lint:allow names no analyzer; write //lint:allow <analyzer> -- <reason>")
+					}
+					continue
+				}
+				bad := false
+				for _, n := range names {
+					if known != nil && !known[n] {
+						if report != nil {
+							report(c.Pos(), "lint:allow names unknown analyzer \""+n+"\"")
+						}
+						bad = true
+					}
+				}
+				if !hasReason || reason == "" {
+					if report != nil {
+						report(c.Pos(), "lint:allow suppression needs a justification; write //lint:allow "+strings.Join(names, ",")+" -- <reason>")
+					}
+					continue
+				}
+				if bad {
+					continue
+				}
+				file := fset.Position(c.Pos()).Filename
+				line := fset.Position(c.End()).Line
+				if idx[file] == nil {
+					idx[file] = map[int]map[string]bool{}
+				}
+				for _, l := range []int{line, line + 1} {
+					if idx[file][l] == nil {
+						idx[file][l] = map[string]bool{}
+					}
+					for _, n := range names {
+						idx[file][l][n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// cutReason splits a directive body into analyzer names and the
+// justification after the first " -- " separator.
+func cutReason(rest string) (names []string, reason string, hasReason bool) {
+	namePart := rest
+	if i := strings.Index(rest, "--"); i >= 0 {
+		namePart, reason, hasReason = rest[:i], strings.TrimSpace(rest[i+2:]), true
+	}
+	names = strings.FieldsFunc(namePart, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	return names, reason, hasReason
+}
+
+// newAllowAnalyzer validates the suppression syntax itself, so a
+// directive that silently fails to suppress (typo'd analyzer name,
+// missing reason) is a finding rather than a mystery.
+func newAllowAnalyzer(known map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: allowName,
+		Doc:  "check //lint:allow directives: known analyzer names and a mandatory -- reason",
+	}
+	a.Run = func(p *Pass) error {
+		parseAllows(p.Fset, p.Files, known, func(pos token.Pos, msg string) {
+			p.Reportf(pos, "%s", msg)
+		})
+		return nil
+	}
+	return a
+}

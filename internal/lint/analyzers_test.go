@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// fixCfg maps the fixture tree under testdata/src onto the suite's
+// configuration knobs, mirroring how DefaultConfig maps the real
+// repository.
+func fixCfg() *lint.Config {
+	return &lint.Config{
+		Module:        "fix",
+		Wallclock:     []string{"fix/wall", "fix/allowck"},
+		MapOrder:      []string{"fix/maps"},
+		RandSource:    []string{"fix/rnd"},
+		KernelPure:    []string{"fix/pure"},
+		KernelEntries: []string{"fix/kern.Run"},
+		KernelImpl:    []string{"fix/vt"},
+		WireRoots:     []string{"fix/wire.Root", "fix/wire.Quiet"},
+		WireMixed:     []string{"fix/..."},
+	}
+}
+
+func TestWallclock(t *testing.T) {
+	linttest.RunAndCheck(t, "testdata", fixCfg(), "fix/wall")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.RunAndCheck(t, "testdata", fixCfg(), "fix/maps")
+}
+
+func TestRandSource(t *testing.T) {
+	linttest.RunAndCheck(t, "testdata", fixCfg(), "fix/rnd")
+}
+
+func TestKernelSafePurePackage(t *testing.T) {
+	linttest.RunAndCheck(t, "testdata", fixCfg(), "fix/pure")
+}
+
+func TestKernelSafeEntryCallSites(t *testing.T) {
+	linttest.RunAndCheck(t, "testdata", fixCfg(), "fix/body")
+}
+
+func TestWireTag(t *testing.T) {
+	linttest.RunAndCheck(t, "testdata", fixCfg(), "fix/wire")
+}
+
+// TestLintAllowHygiene asserts directly on the findings: the expected
+// diagnostics land on the directive lines themselves, where a
+// trailing // want comment cannot syntactically follow.
+func TestLintAllowHygiene(t *testing.T) {
+	res := linttest.Run(t, "testdata", fixCfg(), "fix/allowck")
+	want := []string{
+		"lint:allow suppression needs a justification",
+		"time.Now reads the wall clock", // the reasonless allow suppressed nothing
+		`lint:allow names unknown analyzer "wallhack"`,
+		"lint:allow names no analyzer",
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range res.Diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a finding containing %q; got %d findings:", w, len(res.Diags))
+			for _, d := range res.Diags {
+				t.Logf("  %s: %s [%s]", res.Fset.Position(d.Pos), d.Message, d.Check)
+			}
+		}
+	}
+	if len(res.Diags) != len(want) {
+		t.Errorf("got %d findings, want %d", len(res.Diags), len(want))
+		for _, d := range res.Diags {
+			t.Logf("  %s: %s [%s]", res.Fset.Position(d.Pos), d.Message, d.Check)
+		}
+	}
+}

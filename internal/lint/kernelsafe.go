@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// kernelsafeName is referenced by fact import/export.
+const kernelsafeName = "kernelsafe"
+
+// A taintOp is one reason a function is unsafe on rank context: a raw
+// concurrency operation it performs or (transitively) reaches. The
+// fields are exported for gob.
+type taintOp struct {
+	// What names the operation ("go statement", "sync.Mutex.Lock").
+	What string
+	// Pos is the operation's position, rendered to a string so it
+	// survives fact serialization across compilation units.
+	Pos string
+	// Via is the call chain from the function to the operation.
+	Via []string
+}
+
+// syncBlockers are the sync package methods that park the calling
+// goroutine for real: on rank context they deadlock the virtual clock
+// (every runnable rank is one goroutine the scheduler hands off to
+// exactly once) or corrupt it by waiting in wall time.
+var syncBlockers = map[string]string{
+	"Mutex.Lock":     "sync.Mutex.Lock",
+	"RWMutex.Lock":   "sync.RWMutex.Lock",
+	"RWMutex.RLock":  "sync.RWMutex.RLock",
+	"WaitGroup.Wait": "sync.WaitGroup.Wait",
+	"Cond.Wait":      "sync.Cond.Wait",
+}
+
+// newKernelSafe enforces the kernel's execution contract: code that
+// runs on a simulated rank (a function passed to a kernel entry
+// point, and everything it statically reaches) must synchronize only
+// through vtime primitives — raw go statements, channel operations,
+// select, and blocking sync calls either deadlock the single-threaded
+// virtual-time scheduler or introduce real-time ordering into
+// simulated results. Taint is computed bottom-up over the static call
+// graph and carried across package boundaries as facts.
+func newKernelSafe(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: kernelsafeName,
+		Doc:  "forbid raw go/channels/select/blocking sync in rank bodies and everything they reach; only vtime primitives may block",
+	}
+	a.Run = func(p *Pass) error { return runKernelSafe(cfg, p) }
+	return a
+}
+
+// funcEntry is the per-function analysis state.
+type funcEntry struct {
+	name  string      // for Via chains
+	obj   *types.Func // nil for literals
+	ops   []directOp  // raw operations performed by this body
+	calls []callEdge
+	taint []taintOp // after propagation
+}
+
+// directOp pairs a taint op with its in-package position, which stays
+// a token.Pos until the op crosses a package boundary as a fact.
+type directOp struct {
+	op taintOp
+	at token.Pos
+}
+
+type callEdge struct {
+	local   *funcEntry // same-package callee
+	pkgPath string     // cross-package callee
+	key     string
+	name    string // display name for Via
+	pos     token.Pos
+}
+
+const maxTaintOps = 3
+
+func runKernelSafe(cfg *Config, p *Pass) error {
+	if matchPkg(cfg.KernelImpl, p.PkgPath) {
+		return nil // the kernel implements the primitives; exempt
+	}
+
+	// Pass 1: collect one entry per function declaration and literal.
+	entries := map[ast.Node]*funcEntry{}
+	byObj := map[*types.Func]*funcEntry{}
+	var order []*funcEntry
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				e := &funcEntry{name: fn.Name.Name}
+				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+					e.obj = obj
+					e.name = FuncKey(obj)
+					byObj[obj] = e
+				}
+				entries[n] = e
+				order = append(order, e)
+			case *ast.FuncLit:
+				e := &funcEntry{name: "func literal at " + p.Fset.Position(fn.Pos()).String()}
+				entries[n] = e
+				order = append(order, e)
+			}
+			return true
+		})
+	}
+
+	// Pass 2: direct operations and call edges, literals excluded
+	// from their enclosing function's walk.
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, owns := entries[n]
+			if !owns {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				collectOps(cfg, p, e, body, entries, byObj)
+			}
+			return true
+		})
+	}
+
+	// Pass 3: propagate taint to a fixpoint over the package call
+	// graph; cross-package edges resolve through imported facts.
+	for _, e := range order {
+		for _, d := range e.ops {
+			e.taint = append(e.taint, d.op)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range order {
+			for _, edge := range e.calls {
+				var inherited []taintOp
+				if edge.local != nil {
+					inherited = edge.local.taint
+				} else {
+					var ops []taintOp
+					if p.Facts.Import(kernelsafeName, edge.pkgPath, edge.key, &ops) {
+						inherited = ops
+					}
+				}
+				for _, op := range inherited {
+					if addTaint(e, op, edge.name) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Export facts for named functions so importers inherit.
+	for _, e := range order {
+		if e.obj != nil && len(e.taint) > 0 {
+			if err := p.Facts.Export(kernelsafeName, FuncKey(e.obj), e.taint); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Report 1: kernel-proc packages may not contain raw operations at
+	// all — every line of them can run on rank context.
+	if matchPkg(cfg.KernelPure, p.PkgPath) {
+		for _, e := range order {
+			for _, d := range e.ops {
+				p.Reportf(d.at, "%s in kernel-proc package %s; code here runs on simulated ranks and may only block through vtime primitives",
+					d.op.What, p.PkgPath)
+			}
+		}
+	}
+
+	// Report 2: function values handed to kernel entry points must be
+	// taint-free wherever the call appears.
+	entrySet := map[string]bool{}
+	for _, e := range cfg.KernelEntries {
+		entrySet[e] = true
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if !entrySet[callee.Pkg().Path()+"."+FuncKey(callee)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				t := p.Info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if _, isFunc := t.Underlying().(*types.Signature); !isFunc {
+					continue
+				}
+				taint := argTaint(p, arg, entries, byObj)
+				if len(taint) == 0 {
+					continue
+				}
+				op := taint[0]
+				p.Reportf(arg.Pos(), "rank body passed to %s.%s reaches %s at %s%s; rank bodies may only block through vtime primitives",
+					callee.Pkg().Name(), FuncKey(callee), op.What, op.Pos, viaString(op.Via))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectOps walks one function body recording raw operations and
+// resolvable call edges; nested function literals are skipped (they
+// have entries of their own).
+func collectOps(cfg *Config, p *Pass, e *funcEntry, body *ast.BlockStmt, entries map[ast.Node]*funcEntry, byObj map[*types.Func]*funcEntry) {
+	add := func(n ast.Node, what string) {
+		e.ops = append(e.ops, directOp{op: taintOp{What: what, Pos: p.Fset.Position(n.Pos()).String()}, at: n.Pos()})
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			add(n, "go statement")
+		case *ast.SendStmt:
+			add(n, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n, "channel receive")
+			}
+		case *ast.SelectStmt:
+			add(n, "select statement")
+			// The comm clauses' channel operations are implied by the
+			// select; only the case bodies can add new operations.
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					add(n, "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// Immediately invoked literal: its body runs here.
+				if callee := entries[lit]; callee != nil {
+					e.calls = append(e.calls, callEdge{local: callee, name: callee.name, pos: n.Pos()})
+				}
+				return true
+			}
+			fn := calleeFunc(p, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			key := FuncKey(fn)
+			switch path := fn.Pkg().Path(); {
+			case path == "sync":
+				if what, bad := syncBlockers[key]; bad {
+					add(n, what)
+				}
+			case path == "time" && key == "Sleep":
+				add(n, "time.Sleep")
+			case path == StripVariant(p.Pkg.Path()) || path == p.Pkg.Path():
+				if callee := byObj[fn]; callee != nil {
+					e.calls = append(e.calls, callEdge{local: callee, name: key, pos: n.Pos()})
+				}
+			case matchPkg(cfg.KernelImpl, path):
+				// vtime primitives: the sanctioned way to block.
+			case (&Config{Module: cfg.Module}).inModule(path):
+				e.calls = append(e.calls, callEdge{pkgPath: path, key: key, name: path + "." + key, pos: n.Pos()})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// addTaint merges one inherited op into e, reporting whether it was
+// new. The op count is capped: three witnesses are plenty.
+func addTaint(e *funcEntry, op taintOp, via string) bool {
+	if len(e.taint) >= maxTaintOps {
+		return false
+	}
+	chained := taintOp{What: op.What, Pos: op.Pos, Via: append([]string{via}, op.Via...)}
+	if len(chained.Via) > 4 {
+		chained.Via = append(chained.Via[:4], "…")
+	}
+	for _, have := range e.taint {
+		if have.What == chained.What && have.Pos == chained.Pos {
+			return false
+		}
+	}
+	e.taint = append(e.taint, chained)
+	return true
+}
+
+// calleeFunc resolves a call's static callee, if it is a named
+// function or method.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// argTaint resolves the taint of a function-valued argument.
+func argTaint(p *Pass, arg ast.Expr, entries map[ast.Node]*funcEntry, byObj map[*types.Func]*funcEntry) []taintOp {
+	switch arg := arg.(type) {
+	case *ast.FuncLit:
+		if e := entries[arg]; e != nil {
+			return e.taint
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		var fn *types.Func
+		if id, ok := arg.(*ast.Ident); ok {
+			fn, _ = p.Info.Uses[id].(*types.Func)
+		} else {
+			fn, _ = p.Info.Uses[arg.(*ast.SelectorExpr).Sel].(*types.Func)
+		}
+		if fn == nil || fn.Pkg() == nil {
+			return nil
+		}
+		if e := byObj[fn]; e != nil {
+			return e.taint
+		}
+		var ops []taintOp
+		if p.Facts.Import(kernelsafeName, fn.Pkg().Path(), FuncKey(fn), &ops) {
+			return ops
+		}
+	}
+	return nil
+}
+
+// viaString renders a call chain suffix.
+func viaString(via []string) string {
+	if len(via) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(via, " → ") + ")"
+}

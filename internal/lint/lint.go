@@ -1,0 +1,226 @@
+// Package lint is a static-analysis suite that mechanically enforces
+// the simulator's determinism and kernel invariants: simulated time
+// flows only through internal/vtime (wallclock), map iteration never
+// feeds ordered output unsorted (maporder), randomness is always
+// explicitly seeded (randsource), rank bodies never touch real
+// synchronization (kernelsafe), and every struct that crosses the
+// wire or the store carries explicit json tags (wiretag).
+//
+// The suite is built directly on go/ast and go/types — no external
+// analysis framework — and is driven either standalone or as a
+// `go vet -vettool` via the unit-checker protocol in unit.go. A
+// finding that is a deliberate exception is silenced in place with
+//
+//	//lint:allow <analyzer> -- reason
+//
+// where the reason is mandatory; an allow without one is itself a
+// diagnostic (see allow.go).
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the check's identifier: its CLI flag, the name used in
+	// //lint:allow directives, and the tag printed after findings.
+	Name string
+	// Doc is the one-line description shown in -flags and usage.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Check names the analyzer that produced it.
+	Check string
+	// Message states the violation and the remedy.
+	Message string
+}
+
+// A Pass holds everything an analyzer sees of one package: its parsed
+// files, type information, the suite configuration, and the fact
+// store carrying results across package boundaries.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// PkgPath is the import path with any " [test]" variant suffix
+	// stripped, so configuration globs match both variants.
+	PkgPath string
+	Pkg     *types.Package
+	Info    *types.Info
+	Cfg     *Config
+	Facts   *FactStore
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether f is a _test.go file. Most checks skip
+// test files — tests legitimately instrument the kernel and measure
+// wall time — but randsource holds tests to the same bar as the
+// simulator, since an unseeded test is as irreproducible as an
+// unseeded model.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Analyzers returns the full suite configured by cfg, in the order
+// they run. Fact-producing analyzers appear before their consumers.
+func Analyzers(cfg *Config) []*Analyzer {
+	all := []*Analyzer{
+		newWallclock(cfg),
+		newMapOrder(cfg),
+		newRandSource(cfg),
+		newKernelSafe(cfg),
+		newWireTag(cfg),
+	}
+	names := make(map[string]bool, len(all)+1)
+	for _, a := range all {
+		names[a.Name] = true
+	}
+	names[allowName] = true
+	return append(all, newAllowAnalyzer(names))
+}
+
+// RunAnalyzers applies the given analyzers to one package pass
+// template and returns the surviving diagnostics: findings on lines
+// carrying a well-formed //lint:allow for the reporting analyzer are
+// filtered out here, so suppression behaves identically under every
+// driver (vet protocol, standalone, linttest).
+func RunAnalyzers(analyzers []*Analyzer, tmpl Pass) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := tmpl
+		pass.Analyzer = a
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(&pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, tmpl.PkgPath, err)
+		}
+	}
+	allows := parseAllows(tmpl.Fset, tmpl.Files, nil, nil)
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Check != allowName && allows.covers(tmpl.Fset, d.Pos, d.Check) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}
+
+// A FactStore carries analyzer facts across package boundaries. Facts
+// are keyed by (package path, analyzer, object key) and gob-encoded,
+// so they serialize into the vet driver's .vetx files unchanged.
+type FactStore struct {
+	imported map[string]PkgFacts
+	out      PkgFacts
+}
+
+// PkgFacts is one package's exported facts: analyzer → object key →
+// gob payload.
+type PkgFacts map[string]map[string][]byte
+
+// NewFactStore returns a store over the given imported facts (may be
+// nil).
+func NewFactStore(imported map[string]PkgFacts) *FactStore {
+	return &FactStore{imported: imported, out: PkgFacts{}}
+}
+
+// Out returns the facts exported by the current package.
+func (fs *FactStore) Out() PkgFacts { return fs.out }
+
+// AddImported registers the facts of a dependency package.
+func (fs *FactStore) AddImported(pkgPath string, facts PkgFacts) {
+	if fs.imported == nil {
+		fs.imported = map[string]PkgFacts{}
+	}
+	dst := fs.imported[pkgPath]
+	if dst == nil {
+		fs.imported[pkgPath] = facts
+		return
+	}
+	// Plain and test-variant packages can both contribute; union them.
+	for an, objs := range facts {
+		if dst[an] == nil {
+			dst[an] = objs
+			continue
+		}
+		for k, v := range objs {
+			dst[an][k] = v
+		}
+	}
+}
+
+// Export records a fact about an object of the current package.
+func (fs *FactStore) Export(analyzer, objKey string, value any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
+		return fmt.Errorf("lint: encoding %s fact for %s: %w", analyzer, objKey, err)
+	}
+	if fs.out[analyzer] == nil {
+		fs.out[analyzer] = map[string][]byte{}
+	}
+	fs.out[analyzer][objKey] = buf.Bytes()
+	return nil
+}
+
+// Import decodes a fact exported by a dependency package into out,
+// reporting whether one was found. pkgPath may carry a test-variant
+// suffix; imported facts are registered under the plain path.
+func (fs *FactStore) Import(analyzer, pkgPath, objKey string, out any) bool {
+	payload, ok := fs.imported[StripVariant(pkgPath)][analyzer][objKey]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(out) == nil
+}
+
+// FuncKey returns the fact key of a package-level function or method:
+// "Name" for functions, "Type.Name" for methods (pointer receivers
+// are not distinguished). It is stable across the exporting and
+// importing sides because both derive it from go/types objects.
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return fn.Name()
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	return "?." + fn.Name()
+}
+
+// StripVariant removes cmd/go's " [foo.test]" suffix from a package
+// path, so the plain and test-variant compilations of a package match
+// the same configuration entries and fact keys.
+func StripVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,218 @@
+// Package linttest runs the lint suite over small fixture packages
+// and checks findings against // want annotations, in the spirit of
+// golang.org/x/tools' analysistest but built purely on the standard
+// library (this module vendors nothing).
+//
+// Fixtures live in a GOPATH-style tree: dir/src/<import path>/*.go.
+// An expectation is written at the end of the offending line as
+//
+//	x := time.Now() // want `time\.Now reads the wall clock`
+//
+// with one back-quoted regexp per expected finding. Every finding in
+// the target package must match a want on its line, and every want
+// must be matched — both directions are errors.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// A Result is one analyzed fixture package.
+type Result struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Diags []lint.Diagnostic
+	// Dir is the package's source directory.
+	Dir string
+}
+
+// loader resolves fixture imports from the testdata tree, falling
+// back to compiling the standard library from source (the importer
+// works offline against GOROOT, which gc export-data lookup does
+// not).
+type loader struct {
+	t        *testing.T
+	testdata string
+	cfg      *lint.Config
+	fset     *token.FileSet
+	std      types.ImporterFrom
+	pkgs     map[string]*types.Package
+	results  map[string]*Result
+	facts    map[string]lint.PkgFacts
+}
+
+// Run loads the fixture package at import path target (and,
+// recursively, its fixture dependencies, whose analyzer facts flow
+// into the target) and returns the target's findings.
+func Run(t *testing.T, testdata string, cfg *lint.Config, target string) *Result {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		t:        t,
+		testdata: testdata,
+		cfg:      cfg,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:     map[string]*types.Package{},
+		results:  map[string]*Result{},
+		facts:    map[string]lint.PkgFacts{},
+	}
+	ld.load(target)
+	return ld.results[target]
+}
+
+// Check compares the result's findings against its // want
+// annotations.
+func Check(t *testing.T, res *Result) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range res.Files {
+		name := res.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(text, "// want ")
+			if !ok {
+				continue
+			}
+			k := key{name, i + 1}
+			for _, m := range regexp.MustCompile("`([^`]*)`").FindAllStringSubmatch(spec, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				wants[k] = append(wants[k], re)
+			}
+			if len(wants[k]) == 0 {
+				t.Errorf("%s:%d: // want with no back-quoted regexps", name, i+1)
+			}
+		}
+	}
+	for _, d := range res.Diags {
+		pos := res.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected finding [%s]: %s", pos, d.Check, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var keys []key
+	for k, res := range wants {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i].file < keys[j].file || (keys[i].file == keys[j].file && keys[i].line < keys[j].line)
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// RunAndCheck is the common case.
+func RunAndCheck(t *testing.T, testdata string, cfg *lint.Config, target string) {
+	t.Helper()
+	Check(t, Run(t, testdata, cfg, target))
+}
+
+func (ld *loader) load(path string) *types.Package {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("linttest: reading fixture %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("linttest: fixture %s has no Go files", path)
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if fi, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(p))); err == nil && fi.IsDir() {
+				return ld.load(p), nil
+			}
+			return ld.std.ImportFrom(p, "", 0)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("linttest: typechecking %s: %v", path, err)
+	}
+	ld.pkgs[path] = pkg
+
+	store := lint.NewFactStore(nil)
+	for depPath, facts := range ld.facts {
+		store.AddImported(depPath, facts)
+	}
+	diags, err := lint.RunAnalyzers(lint.Analyzers(ld.cfg), lint.Pass{
+		Fset:    ld.fset,
+		Files:   files,
+		PkgPath: path,
+		Pkg:     pkg,
+		Info:    info,
+		Cfg:     ld.cfg,
+		Facts:   store,
+	})
+	if err != nil {
+		ld.t.Fatalf("linttest: analyzing %s: %v", path, err)
+	}
+	ld.facts[path] = store.Out()
+	ld.results[path] = &Result{Fset: ld.fset, Files: files, Diags: diags, Dir: dir}
+	return pkg
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

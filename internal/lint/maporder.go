@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newMapOrder flags map iteration whose effects depend on Go's
+// randomized map order, inside the packages that feed serialization,
+// fingerprinting, report rendering, or manifest/JSON encoding. The
+// analyzer accepts the two honest idioms:
+//
+//   - order-insensitive bodies: writing into another map, delete,
+//     integer counters, and fresh per-iteration locals;
+//   - collect-then-sort: appending keys/values to a slice that is
+//     passed to a sort/slices call later in the same function.
+//
+// Everything else — emitting output, float accumulation (rounding
+// depends on order), last-writer-wins assignments, early returns —
+// is a finding.
+func newMapOrder(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "flag order-dependent map iteration in packages that feed serialized or rendered output",
+	}
+	a.Run = func(p *Pass) error {
+		if !matchPkg(cfg.MapOrder, p.PkgPath) {
+			return nil
+		}
+		for _, f := range p.Files {
+			if p.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				default:
+					return true
+				}
+				if body != nil {
+					checkFuncMapRanges(p, body)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkFuncMapRanges examines every map range lexically inside one
+// function body (nested function literals are visited separately by
+// the caller's Inspect).
+func checkFuncMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(p, rs.X) {
+			return true
+		}
+		c := classifier{p: p, needSort: map[types.Object]token.Pos{}}
+		c.stmts(rs.Body.List)
+		if c.badPos.IsValid() {
+			p.Reportf(rs.For, "iteration over map %s has order-dependent effects (%s at %s); sort the keys first, or //lint:allow maporder -- reason if the effect is provably order-free",
+				exprString(rs.X), c.badWhat, p.Fset.Position(c.badPos))
+			return true
+		}
+		for obj, pos := range c.needSort {
+			if !sortedAfter(p, body, rs.End(), obj) {
+				p.Reportf(rs.For, "slice %s collected from map %s is never sorted in this function; map order leaks into its element order (append at %s)",
+					obj.Name(), exprString(rs.X), p.Fset.Position(pos))
+			}
+		}
+		return true
+	})
+}
+
+// classifier walks a map-range body deciding whether its effects are
+// independent of iteration order.
+type classifier struct {
+	p *Pass
+	// needSort maps slice variables appended to inside the loop to the
+	// position of the first append.
+	needSort map[types.Object]token.Pos
+	badPos   token.Pos
+	badWhat  string
+}
+
+func (c *classifier) bad(pos token.Pos, what string) {
+	if !c.badPos.IsValid() {
+		c.badPos, c.badWhat = pos, what
+	}
+}
+
+func (c *classifier) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *classifier) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		// counters commute
+	case *ast.DeclStmt:
+		// fresh per-iteration locals
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			c.bad(s.Pos(), "goto out of the loop")
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltinDelete(c.p, call) {
+			return
+		}
+		c.bad(s.Pos(), "a call with unknown effects")
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.ForStmt:
+		c.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		if isMapExpr(c.p, s.X) {
+			// A nested map range is classified (and reported) on its
+			// own visit; for the outer loop it adds no new effects.
+			return
+		}
+		c.stmts(s.Body.List)
+	case *ast.ReturnStmt:
+		c.bad(s.Pos(), "a return that exposes one arbitrary element")
+	default:
+		c.bad(s.Pos(), fmt.Sprintf("a %T statement", s))
+	}
+}
+
+func (c *classifier) assign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return // fresh per-iteration locals
+	}
+	if s.Tok != token.ASSIGN {
+		// Compound assignment: integer accumulation commutes exactly;
+		// float accumulation rounds differently per order, and string
+		// concatenation is ordered by construction.
+		for _, lhs := range s.Lhs {
+			t := c.p.Info.TypeOf(lhs)
+			if t == nil {
+				c.bad(s.Pos(), "a compound assignment of unknown type")
+				return
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				c.bad(s.Pos(), fmt.Sprintf("a %s accumulation whose result depends on iteration order", t))
+				return
+			}
+		}
+		return
+	}
+	// Plain assignment: writing into another map commutes (distinct
+	// keys), and the collect-for-sorting append is deferred to the
+	// post-loop sort check. Anything else is last-writer-wins.
+	for i, lhs := range s.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok && isMapExpr(c.p, ix.X) {
+			continue
+		}
+		if id, ok := lhs.(*ast.Ident); ok && len(s.Lhs) == len(s.Rhs) {
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isAppendTo(c.p, call, id) {
+				if obj := c.p.Info.Uses[id]; obj != nil {
+					if _, seen := c.needSort[obj]; !seen {
+						c.needSort[obj] = s.Pos()
+					}
+					continue
+				}
+			}
+		}
+		c.bad(s.Pos(), "a last-writer-wins assignment")
+		return
+	}
+}
+
+// isMapExpr reports whether e has map type.
+func isMapExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isBuiltinDelete reports whether call is the delete builtin.
+func isBuiltinDelete(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "delete"
+}
+
+// isAppendTo reports whether call is append(id, ...).
+func isAppendTo(p *Pass, call *ast.CallExpr, id *ast.Ident) bool {
+	fid, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := p.Info.Uses[fid].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && p.Info.Uses[first] == p.Info.Uses[id] && p.Info.Uses[id] != nil
+}
+
+// sortedAfter reports whether, lexically after pos inside body, obj
+// is passed into a call of the sort or slices package.
+func sortedAfter(p *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short source form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "value"
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that do
+// NOT draw from the shared global source: they build isolated,
+// explicitly seeded generators, which is exactly what simulator code
+// must thread through its parameters.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// newRandSource forbids the global math/rand source. Every draw from
+// rand.Intn & co. consumes hidden process-wide state, so results
+// depend on what else ran first — the exact property the seeded
+// replicate grids of future stochastic scenarios must never have.
+// Tests are held to the same bar: a test that perturbs inputs with
+// the global source cannot be re-run on a failure seed.
+func newRandSource(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "randsource",
+		Doc:  "forbid the global math/rand source; thread an explicitly seeded *rand.Rand instead",
+	}
+	a.Run = func(p *Pass) error {
+		if !matchPkg(cfg.RandSource, p.PkgPath) {
+			return nil
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if path := obj.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on *rand.Rand are the endorsed API
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				p.Reportf(id.Pos(), "rand.%s draws from the shared global source; seed an explicit generator (rand.New(rand.NewSource(seed))) and thread it through parameters",
+					fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

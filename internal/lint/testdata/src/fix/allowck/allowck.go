@@ -1,0 +1,16 @@
+// Package allowck exercises directive hygiene: malformed suppressions
+// are findings themselves and suppress nothing. Expectations live in
+// the test, not in want comments — the findings land on the directive
+// lines, where a trailing comment cannot follow a line comment.
+package allowck
+
+import "time"
+
+//lint:allow wallclock
+func MissingReason() int64 { return time.Now().Unix() }
+
+//lint:allow wallhack -- no analyzer has that name
+func UnknownName() {}
+
+//lint:allow -- a reason with no analyzer names
+func NoName() {}

@@ -1,0 +1,33 @@
+// Package body hands rank bodies to the kernel entry point; taint is
+// checked at the call site, including taint inherited across package
+// boundaries through facts.
+package body
+
+import (
+	"fix/helper"
+	"fix/kern"
+	"fix/vt"
+)
+
+func Direct(ch chan int) {
+	kern.Run(func() { // want `rank body passed to kern\.Run reaches channel send`
+		ch <- 1
+	})
+}
+
+func Indirect() {
+	kern.Run(helper.Locky) // want `rank body passed to kern\.Run reaches sync\.Mutex\.Lock`
+}
+
+func wrapper() { helper.Locky() }
+
+func Wrapped() {
+	kern.Run(wrapper) // want `rank body passed to kern\.Run reaches sync\.Mutex\.Lock at .*helper\.go.* \(via fix/helper\.Locky\)`
+}
+
+// Fine: blocking through the kernel's own primitives is sanctioned.
+func Fine(ch chan struct{}) {
+	kern.Run(func() {
+		vt.Wait(ch)
+	})
+}

@@ -1,0 +1,11 @@
+// Package helper blocks on real sync primitives; importers learn
+// that through kernelsafe facts, not by reading this source.
+package helper
+
+import "sync"
+
+func Locky() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,7 @@
+// Package kern stands in for the kernel entry point: body runs on a
+// simulated rank and must be free of raw concurrency.
+package kern
+
+func Run(body func()) {
+	body()
+}

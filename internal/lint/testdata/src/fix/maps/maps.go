@@ -1,0 +1,86 @@
+package maps
+
+import "sort"
+
+func noop(int) {}
+
+// Bad: a call whose effects the checker cannot prove order-free.
+func Calls(m map[string]int) {
+	for _, v := range m { // want `order-dependent effects \(a call with unknown effects`
+		noop(v)
+	}
+}
+
+// Bad: float addition rounds differently per iteration order.
+func FloatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `a float64 accumulation whose result depends on iteration order`
+		s += v
+	}
+	return s
+}
+
+// Bad: whichever entry ranges last wins.
+func Last(m map[string]int) int {
+	var last int
+	for _, v := range m { // want `a last-writer-wins assignment`
+		last = v
+	}
+	return last
+}
+
+// Bad: the collected slice leaks map order to the caller.
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `slice keys collected from map m is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Good: integer counters commute.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Good: writing distinct keys into another map commutes.
+func Copy(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Good: collect then sort.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Good: pruning entries commutes.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Allowed: the suppression names the analyzer and carries a reason.
+func Excused(m map[string]float64) float64 {
+	var s float64
+	//lint:allow maporder -- fixture: values are whole numbers, addition is exact and commutes
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

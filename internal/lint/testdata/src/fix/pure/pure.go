@@ -1,0 +1,25 @@
+// Package pure is configured kernel-proc: every line of it can run
+// on a simulated rank, so raw operations are flagged where they sit.
+package pure
+
+func Spawn(f func()) {
+	go f() // want `go statement in kernel-proc package fix/pure`
+}
+
+func Send(ch chan int) {
+	ch <- 1 // want `channel send in kernel-proc package fix/pure`
+}
+
+func Pick(a, b chan int) int {
+	select { // want `select statement in kernel-proc package fix/pure`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func Excused(ch chan int) {
+	//lint:allow kernelsafe -- fixture: audited hand-off that runs before the kernel starts
+	ch <- 2
+}

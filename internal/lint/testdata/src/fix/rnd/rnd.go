@@ -1,0 +1,16 @@
+package rnd
+
+import "math/rand"
+
+func Jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the shared global source`
+}
+
+// Good: an isolated, explicitly seeded generator.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+//lint:allow randsource -- fixture: demonstrating an accepted, justified exception
+func Excused() int { return rand.Int() }

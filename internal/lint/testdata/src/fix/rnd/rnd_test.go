@@ -1,0 +1,9 @@
+package rnd
+
+import "math/rand"
+
+// Tests are held to the same bar: an unseeded test cannot be re-run
+// on its failure seed.
+func perturb() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the shared global source`
+}

@@ -1,0 +1,7 @@
+// Package vt stands in for the vtime kernel: the one place allowed
+// to block for real, because it implements the simulated clock.
+package vt
+
+func Wait(ch chan struct{}) {
+	<-ch
+}

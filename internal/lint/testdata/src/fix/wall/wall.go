@@ -1,0 +1,20 @@
+package wall
+
+import "time"
+
+func Bad() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on real time`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func Timer() {
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer creates a wall-clock timer`
+}
+
+// Methods manipulate stored instants; only sampling the clock is
+// forbidden.
+func Compare(a, b time.Time) bool { return a.After(b) }
+
+//lint:allow wallclock -- fixture: journal timestamp for cache bookkeeping, never reaches results
+func Journal() int64 { return time.Now().Unix() }

@@ -1,0 +1,37 @@
+package wire
+
+import "fix/wiredep"
+
+// secret is reachable only through a json:"-" field, which takes its
+// type off the wire; no findings may surface for it.
+type secret struct {
+	X int
+}
+
+// Root is a configured wire root: findings about foreign structs it
+// reaches land here, where a suppression could be reviewed.
+type Root struct { // want `wire root Root reaches wiredep\.Payload whose exported field Value` `wire root Root reaches wiredep\.Payload whose exported field Label`
+	ID     string          `json:"id"`
+	Data   wiredep.Payload `json:"data"`
+	Hidden secret          `json:"-"`
+	Bare   int             // want `exported field Bare of Root has no json tag` `field Bare of Root has no json tag while sibling fields are tagged`
+}
+
+// Mixed demonstrates the module-wide mixed-tag rule away from any
+// wire root: tagging one exported field commits you to all of them.
+type Mixed struct {
+	A int `json:"a"`
+	B int // want `field B of Mixed has no json tag while sibling fields are tagged`
+}
+
+// AllOrNothing carries no tags at all, which the mixed rule accepts:
+// such a struct opted out of explicit schemas entirely.
+type AllOrNothing struct {
+	C int
+	D int
+}
+
+//lint:allow wiretag -- fixture: payload schema is owned and versioned by wiredep, audited by hand
+type Quiet struct {
+	Payload wiredep.Payload `json:"payload"`
+}

@@ -1,0 +1,8 @@
+// Package wiredep declares an untagged struct that fix/wire's roots
+// reach; findings about it are anchored at the roots.
+package wiredep
+
+type Payload struct {
+	Value int
+	Label string
+}

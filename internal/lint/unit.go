@@ -1,0 +1,360 @@
+package lint
+
+// This file is the driver: it speaks cmd/go's vet tool protocol, so
+// the suite runs as `go vet -vettool=$(which repolint) ./...`, and it
+// implements the standalone `repolint ./...` mode by re-execing go
+// vet against itself. The protocol (reconstructed from cmd/go's
+// internal/work and internal/vet sources) has three entry shapes:
+//
+//	tool -V=full        print "<name> version devel ... buildID=<id>"
+//	tool -flags         print a JSON array of supported flags
+//	tool <flags> x.cfg  analyze one compilation unit
+//
+// The .cfg file is JSON describing one package: its files, the export
+// data of its dependencies (PackageFile, via ImportMap), and the fact
+// files (.vetx) of already-vetted dependencies. Dependencies are
+// vetted first with VetxOnly=true so their facts exist before their
+// importers run; the tool must always write VetxOutput, even for
+// packages it has nothing to say about.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// unitConfig mirrors the JSON vet.cfg written by cmd/go for each
+// compilation unit. Field names are the protocol; do not rename.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// Main runs the repolint command line and exits.
+func Main() {
+	os.Exit(Run(os.Args[1:]))
+}
+
+// Run executes one repolint invocation and returns its exit code:
+// 0 clean, 1 operational failure, 2 findings.
+func Run(args []string) int {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			printVersion()
+			return 0
+		}
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		printFlags()
+		return 0
+	}
+
+	cfg := DefaultConfig()
+	all := Analyzers(cfg)
+
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: repolint [-<analyzer>]... [packages]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(command -v repolint) [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			if a.Name != allowName {
+				fmt.Fprintf(fs.Output(), "  -%-12s %s\n", a.Name, a.Doc)
+			}
+		}
+	}
+	selected := map[string]*bool{}
+	for _, a := range all {
+		if a.Name == allowName {
+			continue // directive hygiene is not optional
+		}
+		selected[a.Name] = fs.Bool(a.Name, false, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 1
+	}
+	rest := fs.Args()
+
+	enabled := all
+	if anySelected(selected) {
+		enabled = enabled[:0]
+		for _, a := range all {
+			if a.Name == allowName || *selected[a.Name] {
+				enabled = append(enabled, a)
+			}
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(cfg, enabled, rest[0])
+	}
+	return runStandalone(selected, rest)
+}
+
+func anySelected(sel map[string]*bool) bool {
+	for _, b := range sel {
+		if *b {
+			return true
+		}
+	}
+	return false
+}
+
+// printVersion answers cmd/go's -V=full probe. The buildID is a hash
+// of the tool binary itself, so editing an analyzer invalidates
+// cmd/go's vet result cache.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = hex.EncodeToString(h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("repolint version devel comments-go-here buildID=%s\n", id)
+}
+
+// printFlags answers cmd/go's -flags probe with the flags the tool
+// accepts, in the JSON shape cmd/vet/internal expects.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range Analyzers(DefaultConfig()) {
+		if a.Name == allowName {
+			continue
+		}
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	sort.Slice(flags, func(i, j int) bool { return flags[i].Name < flags[j].Name })
+	data, _ := json.Marshal(flags)
+	fmt.Println(string(data))
+}
+
+// runStandalone re-execs go vet with this binary as the vettool, so
+// the standalone and vet-driven paths cannot drift apart.
+func runStandalone(selected map[string]*bool, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: cannot locate own binary: %v\n", err)
+		return 1
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	var names []string
+	for name, b := range selected {
+		if *b {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vetArgs = append(vetArgs, "-"+name)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "repolint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runUnit analyzes one compilation unit described by a vet.cfg file.
+func runUnit(cfg *Config, analyzers []*Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	var u unitConfig
+	if err := json.Unmarshal(data, &u); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	pkgPath := StripVariant(u.ImportPath)
+	// Packages outside the module (the standard library and, in
+	// fixtures, any third-party code) and the synthesized ".test" main
+	// packages are never analyzed: what the suite needs to know about
+	// std behaviour (that sync.Mutex.Lock blocks, that time.Now is
+	// wall time) is knowledge hardwired in the analyzers, not derived
+	// facts. The driver still owes cmd/go a facts file.
+	if !cfg.inModule(pkgPath) || strings.HasSuffix(pkgPath, ".test") {
+		if err := writeVetx(u.VetxOutput, PkgFacts{}); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range u.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(u.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if u.SucceedOnTypecheckFailure {
+				writeVetx(u.VetxOutput, PkgFacts{})
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := u.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := u.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := u.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("repolint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: u.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tconf.Check(u.ImportPath, fset, files, info)
+	if err != nil {
+		if u.SucceedOnTypecheckFailure {
+			writeVetx(u.VetxOutput, PkgFacts{})
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repolint: typechecking %s: %v\n", u.ImportPath, err)
+		return 1
+	}
+
+	facts := NewFactStore(nil)
+	for path, vetxFile := range u.PackageVetx {
+		pf, err := readVetx(vetxFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: reading facts of %s: %v\n", path, err)
+			return 1
+		}
+		facts.AddImported(StripVariant(path), pf)
+	}
+
+	pass := Pass{
+		Fset:    fset,
+		Files:   files,
+		PkgPath: pkgPath,
+		Pkg:     pkg,
+		Info:    info,
+		Cfg:     cfg,
+		Facts:   facts,
+	}
+	diags, err := RunAnalyzers(analyzers, pass)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	if err := writeVetx(u.VetxOutput, facts.Out()); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	if u.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx serializes one package's exported facts.
+func writeVetx(path string, facts PkgFacts) error {
+	if path == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(facts); err != nil {
+		return fmt.Errorf("encoding facts: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// readVetx loads a dependency's facts file. An empty file means the
+// dependency exported nothing.
+func readVetx(path string) (PkgFacts, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return PkgFacts{}, nil
+	}
+	var facts PkgFacts
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&facts); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return facts, nil
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockForbidden are the package time identifiers that read or
+// wait on the host's clock. Determinism-critical code may still pass
+// time.Time/Duration values around (a GC deadline computed by the
+// caller, say) — what it may never do is *sample* real time, because
+// figures, fingerprints, and cache bytes must be identical across
+// runs, machines, and schedulers.
+var wallclockForbidden = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on real time",
+	"Tick":      "creates a wall-clock ticker",
+	"After":     "creates a wall-clock timer",
+	"AfterFunc": "creates a wall-clock timer",
+	"NewTimer":  "creates a wall-clock timer",
+	"NewTicker": "creates a wall-clock ticker",
+	"Timer":     "is a wall-clock timer",
+	"Ticker":    "is a wall-clock ticker",
+}
+
+// newWallclock forbids sampling real time inside determinism-critical
+// packages: simulated time flows only through internal/vtime.
+func newWallclock(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbid time.Now/Sleep/timers in determinism-critical packages; simulated time flows through internal/vtime",
+	}
+	a.Run = func(p *Pass) error {
+		if !matchPkg(cfg.Wallclock, p.PkgPath) {
+			return nil
+		}
+		for _, f := range p.Files {
+			if p.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				// Methods are value manipulation, not clock access:
+				// t.After(u) compares two stored instants and is fine;
+				// the package function time.After samples the clock.
+				if fn, ok := obj.(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true
+					}
+				}
+				what, bad := wallclockForbidden[obj.Name()]
+				if !bad {
+					return true
+				}
+				p.Reportf(id.Pos(), "time.%s %s in determinism-critical package %s; simulated time must come from the vtime kernel (//lint:allow wallclock -- reason for infra that never affects results)",
+					obj.Name(), what, p.PkgPath)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// newWireTag protects the schema-stamp contract: a struct that
+// crosses the wire or the store must name its JSON encoding
+// explicitly, so renaming a Go field (or adding one without a tag) is
+// a reviewed schema change rather than a silent cache invalidation.
+// Two rules:
+//
+//   - mixed tags (everywhere in the module): a struct that json-tags
+//     some exported fields must tag them all — an untagged addition to
+//     a tagged struct is the classic way a schema drifts;
+//   - wire roots (configured): the named types, and every struct
+//     reachable through their fields, must tag every exported field.
+//     Reachability crosses package boundaries through the type
+//     information of imported packages, and findings about foreign
+//     structs are anchored at the root declaration so the //lint:allow
+//     escape hatch stays local.
+func newWireTag(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "wiretag",
+		Doc:  "require explicit json tags on all exported fields of structs that cross the wire or the store",
+	}
+	a.Run = func(p *Pass) error {
+		if matchPkg(cfg.WireMixed, p.PkgPath) {
+			checkMixedTags(p)
+		}
+		checkWireRoots(cfg, p)
+		return nil
+	}
+	return a
+}
+
+// checkMixedTags applies the mixed-tag rule to every struct declared
+// in the package.
+func checkMixedTags(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var tagged, untagged []*ast.Field
+			for _, fld := range st.Fields.List {
+				if len(fld.Names) == 0 {
+					continue // embedded: promoted encoding is its own contract
+				}
+				exported := false
+				for _, name := range fld.Names {
+					if name.IsExported() {
+						exported = true
+					}
+				}
+				if !exported {
+					continue
+				}
+				if fieldHasJSONTag(fld) {
+					tagged = append(tagged, fld)
+				} else {
+					untagged = append(untagged, fld)
+				}
+			}
+			if len(tagged) > 0 {
+				for _, fld := range untagged {
+					p.Reportf(fld.Pos(), "field %s of %s has no json tag while sibling fields are tagged; tag every exported field so the wire schema is explicit",
+						fld.Names[0].Name, ts.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWireRoots walks the configured wire roots declared in this
+// package and their reachable struct fields.
+func checkWireRoots(cfg *Config, p *Pass) {
+	prefix := p.PkgPath + "."
+	var roots []string
+	for _, r := range cfg.WireRoots {
+		if name, ok := strings.CutPrefix(r, prefix); ok && !strings.Contains(name, ".") {
+			roots = append(roots, name)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	modCfg := &Config{Module: cfg.Module}
+	for _, name := range roots {
+		obj := p.Pkg.Scope().Lookup(name)
+		if obj == nil {
+			p.Reportf(p.Files[0].Pos(), "configured wire root %s%s does not exist in this package", prefix, name)
+			continue
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		seen := map[*types.Named]bool{}
+		walkWireType(p, modCfg, tn.Type(), tn.Name(), obj.Pos(), seen)
+	}
+}
+
+// walkWireType recursively checks one type reachable from a wire
+// root. rootPos anchors findings about structs declared in other
+// packages, so the suppression comment can live next to the root.
+func walkWireType(p *Pass, mod *Config, t types.Type, rootName string, rootPos token.Pos, seen map[*types.Named]bool) {
+	switch t := types.Unalias(t).(type) {
+	case *types.Pointer:
+		walkWireType(p, mod, t.Elem(), rootName, rootPos, seen)
+	case *types.Slice:
+		walkWireType(p, mod, t.Elem(), rootName, rootPos, seen)
+	case *types.Array:
+		walkWireType(p, mod, t.Elem(), rootName, rootPos, seen)
+	case *types.Map:
+		walkWireType(p, mod, t.Elem(), rootName, rootPos, seen)
+	case *types.Struct:
+		checkWireStruct(p, mod, t, "anonymous struct", nil, rootName, rootPos, seen)
+	case *types.Named:
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		pkg := t.Obj().Pkg()
+		if pkg == nil || !mod.inModule(StripVariant(pkg.Path())) {
+			return // types outside the module own their own encoding
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			checkWireStruct(p, mod, st, t.Obj().Name(), pkg, rootName, rootPos, seen)
+		}
+	}
+}
+
+// checkWireStruct checks one struct's fields and recurses into their
+// types. declPkg is nil for anonymous structs.
+func checkWireStruct(p *Pass, mod *Config, st *types.Struct, name string, declPkg *types.Package, rootName string, rootPos token.Pos, seen map[*types.Named]bool) {
+	local := declPkg == nil || StripVariant(declPkg.Path()) == p.PkgPath
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		tag, hasTag := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if fld.Exported() && !fld.Embedded() && !hasTag {
+			if local {
+				p.Reportf(fld.Pos(), "exported field %s of %s has no json tag, but %s crosses the wire or the store (reached from wire root %s); name the encoding explicitly",
+					fld.Name(), name, name, rootName)
+			} else {
+				p.Reportf(rootPos, "wire root %s reaches %s.%s whose exported field %s has no json tag (%s); name the encoding explicitly",
+					rootName, declPkg.Name(), name, fld.Name(), p.Fset.Position(fld.Pos()))
+			}
+		}
+		if hasTag && tagName(tag) == "-" {
+			continue // explicitly off the wire; its type is not schema
+		}
+		walkWireType(p, mod, fld.Type(), rootName, rootPos, seen)
+	}
+}
+
+// tagName extracts the name part of a json tag.
+func tagName(tag string) string {
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		return tag[:i]
+	}
+	return tag
+}
+
+// fieldHasJSONTag reports whether an AST field carries a json tag.
+func fieldHasJSONTag(fld *ast.Field) bool {
+	if fld.Tag == nil {
+		return false
+	}
+	// Tag literal includes the quotes.
+	raw := strings.Trim(fld.Tag.Value, "`")
+	_, ok := reflect.StructTag(raw).Lookup("json")
+	return ok
+}

@@ -18,9 +18,13 @@ import (
 // plane is k == NZ-1, and the lateral boundary is the vessel wall.
 type Mesh struct {
 	// NX, NY, NZ are cell counts per axis.
-	NX, NY, NZ int
+	NX int `json:"NX"`
+	NY int `json:"NY"`
+	NZ int `json:"NZ"`
 	// HX, HY, HZ are cell sizes in metres.
-	HX, HY, HZ float64
+	HX float64 `json:"HX"`
+	HY float64 `json:"HY"`
+	HZ float64 `json:"HZ"`
 }
 
 // NewMesh validates and returns a mesh.

@@ -146,17 +146,17 @@ type Rank struct {
 // Stats summarizes one execution.
 type Stats struct {
 	// End is the simulated makespan (max rank finish time).
-	End units.Seconds
+	End units.Seconds `json:"End"`
 	// MaxCommTime is the largest per-rank time spent inside MPI calls.
-	MaxCommTime units.Seconds
+	MaxCommTime units.Seconds `json:"MaxCommTime"`
 	// AvgCommTime is the mean per-rank MPI time.
-	AvgCommTime units.Seconds
+	AvgCommTime units.Seconds `json:"AvgCommTime"`
 	// TotalBytes is the sum of sent payload bytes.
-	TotalBytes units.ByteSize
+	TotalBytes units.ByteSize `json:"TotalBytes"`
 	// TotalMessages is the number of point-to-point messages sent.
-	TotalMessages int
+	TotalMessages int `json:"TotalMessages"`
 	// RankEnd holds every rank's finish time.
-	RankEnd []units.Seconds
+	RankEnd []units.Seconds `json:"RankEnd"`
 	// Kernel reports the vtime scheduler's counters for this execution
 	// — wall-cost observability, not simulated output, so it is
 	// excluded from persisted results.

@@ -46,16 +46,16 @@ const (
 // Params are the physical and numerical parameters of the fluid case.
 type Params struct {
 	// Nu is the kinematic viscosity (m²/s). Blood ≈ 3.3e-6.
-	Nu float64
+	Nu float64 `json:"Nu"`
 	// Rho is the density (kg/m³). Blood ≈ 1060.
-	Rho float64
+	Rho float64 `json:"Rho"`
 	// Dt is the time step (s).
-	Dt float64
+	Dt float64 `json:"Dt"`
 	// InletVelocity is the peak axial velocity at the inlet (m/s).
-	InletVelocity float64
+	InletVelocity float64 `json:"InletVelocity"`
 	// CGTol and CGMaxIter control the pressure solve.
-	CGTol     float64
-	CGMaxIter int
+	CGTol     float64 `json:"CGTol"`
+	CGMaxIter int     `json:"CGMaxIter"`
 }
 
 // DefaultParams returns a stable configuration for the artery cases.

@@ -435,6 +435,7 @@ func (s *DirStore) touchLocked(key string) {
 	if s.access == nil || s.touched[key] {
 		return
 	}
+	//lint:allow wallclock -- GC access journal: host-side cache bookkeeping that never reaches simulated results
 	fmt.Fprintf(s.access, "%d %s\n", time.Now().Unix(), key)
 	s.touched[key] = true
 }

@@ -26,16 +26,16 @@ const (
 // Params are the material and numerical parameters of the wall model.
 type Params struct {
 	// E is Young's modulus (Pa). Arterial wall ≈ 1e5–1e6.
-	E float64
+	E float64 `json:"E"`
 	// NuP is Poisson's ratio.
-	NuP float64
+	NuP float64 `json:"NuP"`
 	// Rho is the density (kg/m³).
-	Rho float64
+	Rho float64 `json:"Rho"`
 	// Dt is the time step (s); explicit stability requires
 	// dt < h/c with c = sqrt(E/ρ) the dilatational wave speed.
-	Dt float64
+	Dt float64 `json:"Dt"`
 	// Damping is a mass-proportional (Rayleigh) damping coefficient.
-	Damping float64
+	Damping float64 `json:"Damping"`
 }
 
 // DefaultParams returns a stable arterial-wall configuration.

@@ -20,13 +20,13 @@ import (
 // per-client; metadata operations pay a fixed latency.
 type ParallelFS struct {
 	// Name identifies the filesystem in reports.
-	Name string
+	Name string `json:"Name"`
 	// AggregateBW is the backend bandwidth shared by all clients.
-	AggregateBW units.Rate
+	AggregateBW units.Rate `json:"AggregateBW"`
 	// PerClientBW caps what a single node can pull.
-	PerClientBW units.Rate
+	PerClientBW units.Rate `json:"PerClientBW"`
 	// MetadataLatency is the cost of an open/stat.
-	MetadataLatency units.Seconds
+	MetadataLatency units.Seconds `json:"MetadataLatency"`
 }
 
 // Validate reports a misconfigured filesystem.
@@ -64,10 +64,10 @@ func (fs *ParallelFS) WriteTime(size units.ByteSize, clients int) units.Seconds 
 // LocalDisk is a node-local drive used by Docker's storage driver.
 type LocalDisk struct {
 	// Name identifies the disk model in reports.
-	Name string
+	Name string `json:"Name"`
 	// ReadBW and WriteBW are sequential bandwidths.
-	ReadBW  units.Rate
-	WriteBW units.Rate
+	ReadBW  units.Rate `json:"ReadBW"`
+	WriteBW units.Rate `json:"WriteBW"`
 }
 
 // Validate reports a misconfigured disk.

@@ -29,42 +29,42 @@ const (
 // CPUModel describes one processor package (a socket's worth of CPU).
 type CPUModel struct {
 	// Name is the marketing name, e.g. "Intel Xeon Platinum 8160".
-	Name string
+	Name string `json:"Name"`
 	// ISA is the instruction set the package executes.
-	ISA ISA
+	ISA ISA `json:"ISA"`
 	// Cores is the number of physical cores per package.
-	Cores int
+	Cores int `json:"Cores"`
 	// ClockGHz is the nominal base clock, reported for documentation.
-	ClockGHz float64
+	ClockGHz float64 `json:"ClockGHz"`
 	// EffectiveCoreRate is the sustained per-core throughput on the
 	// Alya-like workload (sparse FE assembly + Krylov solves).
-	EffectiveCoreRate units.FlopRate
+	EffectiveCoreRate units.FlopRate `json:"EffectiveCoreRate"`
 	// MemBandwidth is the sustained per-socket memory bandwidth
 	// (STREAM-like) shared by all cores of the package.
-	MemBandwidth units.Rate
+	MemBandwidth units.Rate `json:"MemBandwidth"`
 	// PerCoreMemBW caps what a single core can draw from the memory
 	// subsystem; a one-thread rank cannot saturate its socket.
-	PerCoreMemBW units.Rate
+	PerCoreMemBW units.Rate `json:"PerCoreMemBW"`
 }
 
 // NodeSpec is a compute node: a number of identical sockets plus the
 // NUMA behaviour that the hybrid MPI×OpenMP model needs.
 type NodeSpec struct {
 	// CPU is the socket processor model.
-	CPU CPUModel
+	CPU CPUModel `json:"CPU"`
 	// Sockets is the number of CPU packages per node.
-	Sockets int
+	Sockets int `json:"Sockets"`
 	// MemoryGiB is the installed RAM, for documentation and image
 	// staging models (tmpfs-backed extraction).
-	MemoryGiB float64
+	MemoryGiB float64 `json:"MemoryGiB"`
 	// NUMARemotePenalty multiplies effective memory bandwidth for
 	// threads whose team spans sockets (remote accesses + coherence).
 	// 1.0 means no penalty; typical values are 0.75–0.9.
-	NUMARemotePenalty float64
+	NUMARemotePenalty float64 `json:"NUMARemotePenalty"`
 	// SharedMemRate is the intra-node MPI shared-memory copy bandwidth.
-	SharedMemRate units.Rate
+	SharedMemRate units.Rate `json:"SharedMemRate"`
 	// SharedMemLatency is the intra-node MPI shared-memory latency.
-	SharedMemLatency units.Seconds
+	SharedMemLatency units.Seconds `json:"SharedMemLatency"`
 }
 
 // CoresPerNode returns the total physical cores on the node.

@@ -70,6 +70,7 @@ func (t *TrafficMatrix) Between(a, b int) units.ByteSize {
 // IntraNodeBytes returns the bytes that never left a node.
 func (t *TrafficMatrix) IntraNodeBytes() units.ByteSize {
 	var s units.ByteSize
+	//lint:allow maporder -- ByteSize holds whole byte counts, exact in float64, so the sum commutes
 	for k, v := range t.bytes {
 		if k[0] == k[1] {
 			s += v
