@@ -6,7 +6,7 @@
 //	hpcstudy [-quick] [-csv] [-v] [-parallel N] [store flags] [merge] <study>
 //	hpcstudy run [-list] [flags] <spec.json>
 //	hpcstudy validate <spec.json>
-//	hpcstudy serve -cache-dir DIR -listen ADDR [-gc-interval DUR -max-bytes N -max-age DUR]
+//	hpcstudy serve -cache-dir DIR -listen ADDR [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]
 //	hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]
 //	hpcstudy help [verb]
 //
@@ -55,6 +55,18 @@
 // (switches, ping-pong fast-slot hits, Sync fast-path hits, heap
 // operations, wakes), so scheduling-path and cache regressions show
 // up in CI logs instead of silently inflating wall time.
+//
+// -trace DIR writes one Chrome Trace Event JSON file per simulated
+// cell (named by the cell's store key) recording the execution in
+// virtual time — kernel scheduling, point-to-point messages, and
+// collective phases — loadable in chrome://tracing or Perfetto.
+// Traces are deterministic and purely observational: figure bytes are
+// identical with or without them. -progress streams cells-done/rate/
+// ETA lines to stderr as a sweep runs. The registry server exposes
+// its own metrics (request counts and latencies, store hits/misses,
+// GC evictions) on GET /v1/metrics in Prometheus text format, and
+// serve -pprof ADDR opens an opt-in net/http/pprof listener. See the
+// README's "Observability" section.
 package main
 
 import (
@@ -63,6 +75,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -97,6 +112,9 @@ type cliConfig struct {
 	gcInterval time.Duration
 	maxBytes   int64
 	maxAge     time.Duration
+	traceDir   string // write per-cell Chrome Trace JSON here
+	progress   bool   // report sweep progress to stderr
+	pprofAddr  string // serve: opt-in net/http/pprof address
 }
 
 // verbSummaries drives the top-level usage text, in display order.
@@ -115,16 +133,16 @@ var verbSummaries = [][2]string{
 var verbFlags = map[string][]string{
 	// "study" itself is the top-level summary (printUsage's first
 	// branch), which prints studyFamilyFlags below.
-	"run":      {"list", "csv", "v", "parallel", "cache-dir", "cache-url", "shard"},
-	"merge":    {"quick", "csv", "v", "parallel", "cache-dir", "cache-url"},
+	"run":      {"list", "csv", "v", "parallel", "trace", "progress", "cache-dir", "cache-url", "shard"},
+	"merge":    {"quick", "csv", "v", "parallel", "progress", "cache-dir", "cache-url"},
 	"validate": {},
-	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age"},
+	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age", "pprof"},
 	"gc":       {"cache-dir", "max-bytes", "max-age"},
 }
 
 // studyFamilyFlags is the union the top-level summary prints: every
 // flag of the study/run/merge family, -quick included.
-var studyFamilyFlags = []string{"quick", "list", "csv", "v", "parallel", "cache-dir", "cache-url", "shard"}
+var studyFamilyFlags = []string{"quick", "list", "csv", "v", "parallel", "trace", "progress", "cache-dir", "cache-url", "shard"}
 
 // verbSynopses is the one-line usage form of each verb.
 var verbSynopses = map[string]string{
@@ -132,7 +150,7 @@ var verbSynopses = map[string]string{
 	"run":      "hpcstudy run [flags] <spec.json>",
 	"validate": "hpcstudy validate <spec.json>",
 	"merge":    "hpcstudy merge [flags] <study|spec.json>",
-	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-gc-interval DUR -max-bytes N -max-age DUR]",
+	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]",
 	"gc":       "hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]",
 }
 
@@ -193,6 +211,9 @@ func init() {
 	flag.DurationVar(&cliFlags.gcInterval, "gc-interval", 0, "serve: garbage-collect the store every interval (0 = never)")
 	flag.Int64Var(&cliFlags.maxBytes, "max-bytes", 0, "gc/serve: evict least-recently-used records past this total size (0 = unbounded)")
 	flag.DurationVar(&cliFlags.maxAge, "max-age", 0, "gc/serve: evict records not accessed within this duration (0 = unbounded)")
+	flag.StringVar(&cliFlags.traceDir, "trace", "", "write one Chrome Trace Event JSON per simulated cell into this directory")
+	flag.BoolVar(&cliFlags.progress, "progress", false, "report sweep progress (cells done, rate, ETA) to stderr")
+	flag.StringVar(&cliFlags.pprofAddr, "pprof", "", "serve: expose net/http/pprof on this address (off unless set)")
 }
 
 func main() {
@@ -273,14 +294,26 @@ func main() {
 // openStore assembles the configured store: a directory, a registry
 // client, or — with both flags — a tiered combination where the
 // directory caches registry reads. Nil when no store is configured.
+// Under -v, the registry client logs every retried request to stderr
+// — a retry that eventually succeeds is otherwise invisible, leaving
+// a flaky link undiagnosed (the count also lands in the store line).
 func openStore(cfg cliConfig) (containerhpc.Store, error) {
+	dial := func() (*containerhpc.RegistryClient, error) {
+		opt := containerhpc.RegistryClientOptions{}
+		if cfg.verbose {
+			opt.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		return containerhpc.DialStoreWith(cfg.cacheURL, opt)
+	}
 	switch {
 	case cfg.cacheDir != "" && cfg.cacheURL != "":
 		local, err := containerhpc.OpenStore(cfg.cacheDir)
 		if err != nil {
 			return nil, err
 		}
-		remote, err := containerhpc.DialStore(cfg.cacheURL)
+		remote, err := dial()
 		if err != nil {
 			local.Close()
 			return nil, err
@@ -293,7 +326,7 @@ func openStore(cfg cliConfig) (containerhpc.Store, error) {
 		}
 		return store, nil
 	case cfg.cacheURL != "":
-		return containerhpc.DialStore(cfg.cacheURL)
+		return dial()
 	}
 	return nil, nil
 }
@@ -317,6 +350,28 @@ func runServe(ctx context.Context, w io.Writer, cfg cliConfig) error {
 		return err
 	}
 	defer store.Close()
+	if cfg.pprofAddr != "" {
+		// Opt-in profiling endpoint on its own address, so profiling
+		// traffic never mixes with (or is exposed on) the registry port.
+		// The listener lives for the process; serve exits by signal.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(w, "pprof: listening on %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 	srv := containerhpc.NewRegistryServer(store, containerhpc.RegistryServerOptions{
 		GCInterval: cfg.gcInterval,
 		GC:         gcPolicy,
@@ -448,7 +503,13 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 	}
 
 	stats := &containerhpc.SweepStats{}
-	opt := containerhpc.Options{Parallelism: cfg.parallel, Stats: stats}
+	opt := containerhpc.Options{Parallelism: cfg.parallel, Stats: stats, TraceDir: cfg.traceDir}
+	if cfg.progress {
+		// Progress is wall-time telemetry (rate, ETA), so it goes to
+		// stderr: stdout stays the deterministic figure bytes.
+		prog := containerhpc.NewProgress(os.Stderr)
+		opt.Progress = func(ev containerhpc.ProgressEvent) { prog.Event(ev.Done, ev.Total, ev.Cached) }
+	}
 	store, err := openStore(cfg)
 	if err != nil {
 		return err
@@ -457,6 +518,11 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 		defer store.Close()
 		opt.Store, opt.Shard, opt.FromStore = store, shard, cfg.merge
 	}
+	// One metrics registry per invocation: every study's -v lines render
+	// from it (RecordStudy folds the per-study deltas in; RenderStudy
+	// prints them back), so the CLI and the scrapeable surfaces share
+	// one model instead of three parallel stats structs.
+	metrics := containerhpc.NewMetricsRegistry()
 
 	jobs := map[string]func(io.Writer) error{
 		"fig1":        func(w io.Writer) error { return fig1(w, opt, cfg) },
@@ -479,35 +545,38 @@ func runStudy(w io.Writer, which string, cfg cliConfig) error {
 			if !cfg.verbose {
 				return
 			}
-			k := stats.Kernel().Sub(kern0)
-			fmt.Fprintf(w, "  %s cells: %d simulated, %d replayed, %d failures replayed\n",
-				name, stats.Computed.Load()-comp0, stats.Hits.Load()-hits0, stats.NegHits.Load()-neg0)
-			// The gauge was reset at this study's start, so a clamp here
-			// belongs to this study — an earlier study's clamp (fig3
-			// under "all") is never re-attributed, and two studies
-			// clamped identically each report their own line.
-			if req, adm := stats.Admission(); adm != 0 && adm < req {
-				// The rank budget, not the CPU count, bounded this run's
-				// concurrency — the line an oversized grid needs to
-				// explain its own throughput.
-				fmt.Fprintf(w, "  %s admission: %d of %d workers admitted (rank budget %d simulated ranks)\n",
-					name, adm, req, containerhpc.RankBudget)
+			// Fold this study's deltas into the metrics registry, then
+			// render the classic -v lines from it. The admission gauge
+			// was reset at this study's start, so a clamp belongs to this
+			// study — an earlier study's clamp (fig3 under "all") is
+			// never re-attributed. Anyone changing what the kernel
+			// counters measure must keep `go vet -vettool` with
+			// cmd/repolint green — the kernelsafe analyzer is what
+			// guarantees these numbers stay meaningful.
+			sample := containerhpc.CellsSample{
+				Simulated:        stats.Computed.Load() - comp0,
+				Replayed:         stats.Hits.Load() - hits0,
+				FailuresReplayed: stats.NegHits.Load() - neg0,
+				Kernel:           stats.Kernel().Sub(kern0),
 			}
+			sample.AdmissionRequested, sample.AdmissionAdmitted = stats.Admission()
 			if opt.Store != nil {
 				// The store's own traffic, not the sweep's view of it:
 				// against a registry these are network operations, and
 				// retries flag a flaky link.
 				st := opt.Store.Stats()
-				fmt.Fprintf(w, "  %s store: %d hits, %d misses (%d answered by prefetch), %d puts, %d failure records, %d negative hits, %d retries\n",
-					name, st.Hits-st0.Hits, st.Misses()-st0.Misses(), st.PrefetchSkips-st0.PrefetchSkips,
-					st.Puts-st0.Puts, st.PutErrors-st0.PutErrors, st.NegHits-st0.NegHits, st.Retries-st0.Retries)
+				sample.Store = &containerhpc.StoreStats{
+					Lookups:       st.Lookups - st0.Lookups,
+					Hits:          st.Hits - st0.Hits,
+					NegHits:       st.NegHits - st0.NegHits,
+					Puts:          st.Puts - st0.Puts,
+					PutErrors:     st.PutErrors - st0.PutErrors,
+					Retries:       st.Retries - st0.Retries,
+					PrefetchSkips: st.PrefetchSkips - st0.PrefetchSkips,
+				}
 			}
-			// Anyone changing what these counters measure (the vtime
-			// kernel, rank bodies, the sweep coordinator) must keep
-			// `go vet -vettool` with cmd/repolint green — the kernelsafe
-			// analyzer is what guarantees these numbers stay meaningful.
-			fmt.Fprintf(w, "  %s kernel: %d switches (%d ping-pong), %d sync fast-path, %d heap ops, %d wakes (%d batched flushes)\n",
-				name, k.Switches, k.PingPong, k.SyncFast, k.HeapOps, k.Wakes, k.WakeBatches)
+			containerhpc.RecordStudy(metrics, name, sample)
+			containerhpc.RenderStudy(w, metrics, name, containerhpc.RankBudget)
 		}
 		err := f(w)
 		var miss *containerhpc.MissingCellsError

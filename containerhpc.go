@@ -46,6 +46,7 @@ import (
 	"repro/internal/resultdb"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/vtime"
 )
@@ -138,6 +139,24 @@ type (
 	ScenarioFieldError = scenario.FieldError
 	// CellSpec is one unit of sweep work (a Scenario enumerates them).
 	CellSpec = experiments.CellSpec
+	// MetricsRegistry is the zero-dependency metrics model (counters,
+	// gauges, histograms) behind -v output and the registry service's
+	// GET /v1/metrics endpoint.
+	MetricsRegistry = telemetry.Registry
+	// MetricLabel is one name=value metric dimension.
+	MetricLabel = telemetry.Label
+	// CellsSample is one study's observability delta, folded into a
+	// MetricsRegistry via RecordStudy and printed via RenderStudy.
+	CellsSample = telemetry.CellsSample
+	// CellTrace records one cell's execution events in virtual time and
+	// exports them as Chrome Trace Event JSON (Options.TraceDir wires
+	// it automatically; the alias serves direct RunCell users).
+	CellTrace = telemetry.CellTrace
+	// Progress prints sweep progress (rate, ETA) from ProgressEvent
+	// callbacks; wire it to Options.Progress.
+	Progress = telemetry.Progress
+	// ProgressEvent reports one produced cell during a sweep.
+	ProgressEvent = experiments.ProgressEvent
 )
 
 // RankBudget bounds the total simulated ranks concurrently in flight;
@@ -163,6 +182,36 @@ func OpenStore(dir string) (*DirStore, error) { return resultdb.Open(dir) }
 // against a URL behave exactly as against a local directory.
 func DialStore(url string) (*RegistryClient, error) {
 	return registry.Dial(url, registry.ClientOptions{})
+}
+
+// DialStoreWith is DialStore with explicit client options (retry
+// budget, backoff, transport, retry logging).
+func DialStoreWith(url string, opt RegistryClientOptions) (*RegistryClient, error) {
+	return registry.Dial(url, opt)
+}
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewCellTrace creates a per-cell execution trace with a bounded event
+// ring (maxEvents < 1 means the default). Set it as Cell.Observer and
+// Cell.KernelTracer, run the cell, then Export or WriteFile.
+func NewCellTrace(label string, maxEvents int) *CellTrace {
+	return telemetry.NewCellTrace(label, maxEvents)
+}
+
+// NewProgress creates a sweep progress reporter writing to w.
+func NewProgress(w io.Writer) *Progress { return telemetry.NewProgress(w) }
+
+// RecordStudy folds one study's observability delta into a metrics
+// registry; RenderStudy prints the classic -v lines back from it.
+func RecordStudy(reg *MetricsRegistry, study string, s CellsSample) {
+	telemetry.RecordStudy(reg, study, s)
+}
+
+// RenderStudy prints the -v summary of a recorded study to w.
+func RenderStudy(w io.Writer, reg *MetricsRegistry, study string, rankBudget int) {
+	telemetry.RenderStudy(w, reg, study, rankBudget)
 }
 
 // NewTieredStore layers a local Store (usually a directory) in front

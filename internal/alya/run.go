@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/solid"
 	"repro/internal/units"
+	"repro/internal/vtime"
 )
 
 func workUnits(f float64) units.Flops    { return units.Flops(f) }
@@ -81,6 +82,11 @@ type Spec struct {
 	// trees over block placement act as a hierarchical reduction —
 	// see the ablation bench).
 	Allreduce mpi.AllreduceAlgo
+	// Observer and KernelTracer are passive telemetry taps forwarded
+	// into the MPI layer (see mpi.Config); neither affects the
+	// execution's outcome.
+	Observer     mpi.Observer
+	KernelTracer vtime.Tracer
 }
 
 // Result reports one execution cell.
@@ -149,6 +155,8 @@ func Run(spec Spec) (Result, error) {
 			local := rank % job.RanksPerNode
 			return launch + perRank*units.Seconds(local+1)
 		},
+		Observer:     spec.Observer,
+		KernelTracer: spec.KernelTracer,
 	}
 
 	run := runState{spec: spec, model: model}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/mpi"
 	"repro/internal/sched"
+	"repro/internal/vtime"
 )
 
 // Cell is one measurement of the study.
@@ -35,6 +36,12 @@ type Cell struct {
 	Mode alya.Mode
 	// Allreduce picks the collective algorithm.
 	Allreduce mpi.AllreduceAlgo
+	// Observer and KernelTracer are passive telemetry taps threaded
+	// through to the MPI layer. They never influence the measurement —
+	// canonCell excludes them from the cell's fingerprint, and sweeps
+	// strip them from results before persisting or comparing.
+	Observer     mpi.Observer
+	KernelTracer vtime.Tracer
 }
 
 // Result is one cell's full outcome.
@@ -69,11 +76,13 @@ func RunCell(c Cell) (Result, error) {
 		return Result{}, err
 	}
 	exec, err := alya.Run(alya.Spec{
-		Job:       job,
-		Profile:   profile,
-		Case:      c.Case,
-		Mode:      c.Mode,
-		Allreduce: c.Allreduce,
+		Job:          job,
+		Profile:      profile,
+		Case:         c.Case,
+		Mode:         c.Mode,
+		Allreduce:    c.Allreduce,
+		Observer:     c.Observer,
+		KernelTracer: c.KernelTracer,
 	})
 	if err != nil {
 		return Result{}, err

@@ -60,6 +60,35 @@ type Options struct {
 	// useful to assert a warm run simulated nothing or to report cache
 	// effectiveness.
 	Stats *SweepStats
+	// TraceDir, when non-empty, makes the sweep record every simulated
+	// cell's execution (kernel scheduling, point-to-point messages,
+	// collective phases — all in virtual time) and export one Chrome
+	// Trace Event JSON file per cell, named by the cell's store key.
+	// Tracing is a passive tap: results and figures are byte-identical
+	// with or without it, and the trace itself is deterministic (the
+	// same cell produces the same bytes on every run). Restored cells
+	// write no trace — only simulations have a schedule to record.
+	TraceDir string
+	// TraceEvents bounds each cell's trace ring (values < 1 mean
+	// telemetry.DefaultTraceEvents). The ring keeps the newest events.
+	TraceEvents int
+	// Progress, when non-nil, receives one event per produced cell —
+	// restored or simulated — as the sweep runs. Called from concurrent
+	// workers; the callback must be safe for that (telemetry.Progress
+	// is). Completion order is nondeterministic, which is why progress
+	// is an event stream and never part of result output.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one produced cell during a sweep.
+type ProgressEvent struct {
+	// Done counts cells produced so far (this one included); Total is
+	// the sweep's cell count.
+	Done, Total int
+	// Label names the cell just produced.
+	Label string
+	// Cached reports a store restore rather than a simulation.
+	Cached bool
 }
 
 func (o Options) caseOr(def alya.Case) alya.Case {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/resultdb"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -81,6 +82,12 @@ type Sweep struct {
 	shard     resultdb.Shard
 	fromStore bool
 	stats     *SweepStats
+
+	// Telemetry taps (see Options.TraceDir / Options.Progress). Both
+	// are passive: results are identical with or without them.
+	traceDir    string
+	traceEvents int
+	progress    func(ProgressEvent)
 
 	mu     sync.Mutex
 	images map[imageKey]*imageEntry
@@ -227,12 +234,15 @@ func NewSweep(opt Options) *Sweep {
 		stats = &SweepStats{}
 	}
 	return &Sweep{
-		workers:   workers,
-		store:     opt.Store,
-		shard:     opt.Shard,
-		fromStore: opt.FromStore,
-		stats:     stats,
-		images:    make(map[imageKey]*imageEntry),
+		workers:     workers,
+		store:       opt.Store,
+		shard:       opt.Shard,
+		fromStore:   opt.FromStore,
+		stats:       stats,
+		traceDir:    opt.TraceDir,
+		traceEvents: opt.TraceEvents,
+		progress:    opt.Progress,
+		images:      make(map[imageKey]*imageEntry),
 	}
 }
 
@@ -366,6 +376,7 @@ func (s *Sweep) workersFor(specs []CellSpec) int {
 // reporting what it left to the other shards.
 func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 	results := make([]core.Result, len(specs))
+	var done atomic.Int64
 	if s.store == nil {
 		if s.fromStore || s.shard.Active() {
 			return nil, fmt.Errorf("experiments: sharded or store-only sweeps need a result store")
@@ -376,6 +387,7 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 				return &CellError{Label: specs[i].Label, Err: err}
 			}
 			results[i] = res
+			s.note(&done, len(specs), specs[i].Label, false)
 			return nil
 		})
 		if err != nil {
@@ -445,6 +457,7 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 		results[i] = ent.Result.Restore(cell)
 		s.stats.Hits.Add(1)
 		hit[i] = true
+		s.note(&done, len(specs), specs[i].Label, true)
 		return nil
 	})
 	if err != nil {
@@ -483,6 +496,7 @@ func (s *Sweep) Run(specs []CellSpec) ([]core.Result, error) {
 		}
 		s.stats.Puts.Add(1)
 		results[i] = res
+		s.note(&done, len(specs), specs[i].Label, false)
 		return nil
 	})
 	if err != nil {
@@ -583,23 +597,55 @@ func (s *Sweep) cellFor(sp CellSpec) (core.Cell, error) {
 }
 
 // runSpec executes one cell: memoized image build, then the
-// measurement.
+// measurement. With tracing enabled, a CellTrace taps the execution
+// and is exported keyed by the cell's fingerprint; a trace that cannot
+// be written fails the cell loudly rather than silently losing the
+// artifact the operator asked for.
 func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
 	cell, err := s.cellFor(sp)
 	if err != nil {
 		return core.Result{}, err
+	}
+	var tr *telemetry.CellTrace
+	if s.traceDir != "" {
+		tr = telemetry.NewCellTrace(sp.Label, s.traceEvents)
+		cell.Observer = tr
+		cell.KernelTracer = tr
 	}
 	res, err := core.RunCell(cell)
 	if err != nil {
 		return core.Result{}, err
 	}
 	s.stats.Computed.Add(1)
-	// Kernel counters are wall-cost observability, not simulation
-	// output: aggregate them into the sweep stats and strip them from
-	// the result, so warm (restored) and cold results stay deep-equal.
+	if tr != nil {
+		tr.SetKernel(res.Exec.MPI.Kernel)
+		key, err := sp.Key()
+		if err != nil {
+			return core.Result{}, err
+		}
+		if err := tr.WriteFile(s.traceDir, key); err != nil {
+			return core.Result{}, err
+		}
+	}
+	// Kernel counters and telemetry taps are wall-cost observability,
+	// not simulation output: aggregate the counters into the sweep
+	// stats and strip both from the result, so warm (restored) and
+	// cold results stay deep-equal.
 	s.stats.AddKernel(res.Exec.MPI.Kernel)
 	res.Exec.MPI.Kernel = vtime.Counters{}
+	res.Cell.Observer = nil
+	res.Cell.KernelTracer = nil
 	return res, nil
+}
+
+// note emits one progress event; done must be this sweep call's own
+// counter so concurrent studies sharing an engine never interleave
+// counts.
+func (s *Sweep) note(done *atomic.Int64, total int, label string, cached bool) {
+	if s.progress == nil {
+		return
+	}
+	s.progress(ProgressEvent{Done: int(done.Add(1)), Total: total, Label: label, Cached: cached})
 }
 
 // CellError annotates a cell failure with the cell's label.

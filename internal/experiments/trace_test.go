@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/alya"
+	"repro/internal/resultdb"
+)
+
+// fig2TraceOpt is a small fig2 sweep with tracing into dir.
+func fig2TraceOpt(dir string) Options {
+	return Options{
+		Parallelism: 4,
+		Case:        tinyCase(alya.ArteryCFDCTEPower()),
+		NodePoints:  []int{2, 4},
+		TraceDir:    dir,
+	}
+}
+
+// readTraces returns the trace files in dir keyed by name.
+func readTraces(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestTraceDirPerCellDeterministic is the tracer's contract: one valid
+// Chrome Trace JSON per simulated cell, byte-identical across runs,
+// with the figure itself unchanged by tracing.
+func TestTraceDirPerCellDeterministic(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	res1, err := Fig2(fig2TraceOpt(dir1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Fig2(fig2TraceOpt(dir2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plainOpt := fig2TraceOpt("")
+	plain, err := Fig2(plainOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, plain) {
+		t.Fatalf("tracing changed the figure:\n%+v\n%+v", res1, plain)
+	}
+	var a, b bytes.Buffer
+	res1.Render(&a)
+	plain.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("tracing changed rendered output:\n%s\n---\n%s", a.String(), b.String())
+	}
+
+	t1, t2 := readTraces(t, dir1), readTraces(t, dir2)
+	// Fig2 at 2 node points: 3 build-technique variants × 2 points.
+	if len(t1) != 6 {
+		names := make([]string, 0, len(t1))
+		for n := range t1 { //lint:allow maporder -- sorted below for the error message
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Fatalf("run 1 wrote %d traces, want 6: %v", len(t1), names)
+	}
+	if len(t2) != len(t1) {
+		t.Fatalf("runs wrote different trace counts: %d vs %d", len(t1), len(t2))
+	}
+	for name, data := range t1 { //lint:allow maporder -- only compares per-name, no ordered output
+		if !resultdb.ValidKey(name[:len(name)-len(".trace.json")]) {
+			t.Fatalf("trace name %q is not <fingerprint>.trace.json", name)
+		}
+		if !bytes.Equal(data, t2[name]) {
+			t.Fatalf("trace %s differs between runs", name)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("trace %s is not valid JSON: %v", name, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Fatalf("trace %s is empty", name)
+		}
+	}
+	_ = res2
+}
+
+// TestTraceDirSkipsRestoredCells: a warm sweep replays from the store
+// and simulates nothing, so it writes no traces.
+func TestTraceDirSkipsRestoredCells(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	opt := fig2TraceOpt(t.TempDir())
+	opt.Store = store
+	if _, err := Fig2(opt); err != nil {
+		t.Fatal(err)
+	}
+	warmDir := t.TempDir()
+	warm := fig2TraceOpt(warmDir)
+	warm.Store = store
+	warmStats := &SweepStats{}
+	warm.Stats = warmStats
+	if _, err := Fig2(warm); err != nil {
+		t.Fatal(err)
+	}
+	if n := warmStats.Computed.Load(); n != 0 {
+		t.Fatalf("warm run simulated %d cells", n)
+	}
+	if traces := readTraces(t, warmDir); len(traces) != 0 {
+		t.Fatalf("warm run wrote %d traces, want 0", len(traces))
+	}
+}
+
+// TestProgressEvents: every produced cell reports exactly one event,
+// cached cells flagged as such, with Done covering 1..Total.
+func TestProgressEvents(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	var mu sync.Mutex
+	var events []ProgressEvent
+	opt := Options{
+		Parallelism: 4,
+		Case:        tinyCase(alya.ArteryCFDCTEPower()),
+		NodePoints:  []int{2, 4},
+		Store:       store,
+		Progress: func(ev ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}
+	check := func(run string, wantCached bool) {
+		mu.Lock()
+		got := events
+		events = nil
+		mu.Unlock()
+		if len(got) != 6 {
+			t.Fatalf("%s run: %d events, want 6", run, len(got))
+		}
+		seen := make([]bool, len(got)+1)
+		for _, ev := range got {
+			if ev.Total != 6 || ev.Done < 1 || ev.Done > 6 || seen[ev.Done] {
+				t.Fatalf("%s run: bad event %+v", run, ev)
+			}
+			seen[ev.Done] = true
+			if ev.Cached != wantCached {
+				t.Fatalf("%s run: event %+v, want cached=%v", run, ev, wantCached)
+			}
+			if ev.Label == "" {
+				t.Fatalf("%s run: event with empty label", run)
+			}
+		}
+	}
+	if _, err := Fig2(opt); err != nil {
+		t.Fatal(err)
+	}
+	check("cold", false)
+	if _, err := Fig2(opt); err != nil {
+		t.Fatal(err)
+	}
+	check("warm", true)
+}

@@ -77,6 +77,10 @@ func DefaultConfig() *Config {
 		"repro/internal/field",
 		"repro/internal/linalg",
 		"repro/internal/resultdb",
+		// telemetry's trace sink runs inside the kernel's callbacks; its
+		// host-side Progress reporter samples the wall clock only under
+		// explicit //lint:allow wallclock escapes.
+		"repro/internal/telemetry",
 	}
 	return &Config{
 		Module:    "repro",
@@ -90,6 +94,7 @@ func DefaultConfig() *Config {
 			"repro/internal/registry",
 			"repro/internal/experiments",
 			"repro/internal/metrics",
+			"repro/internal/telemetry",
 			"repro/internal/trace",
 			"repro/cmd/...",
 		},
@@ -112,6 +117,7 @@ func DefaultConfig() *Config {
 			"repro/internal/registry.wireSchema",
 			"repro/internal/registry.wireManifest",
 			"repro/internal/scenario.Spec",
+			"repro/internal/telemetry.chromeTrace",
 		},
 		WireMixed: []string{"repro/..."},
 	}

@@ -65,9 +65,33 @@ const (
 	tagAlltoall  = -8000
 )
 
+// beginPhase opens a collective span for the world's PhaseObserver and
+// returns the observer to close it with (nil when nobody listens, so
+// the untraced hot path costs one nil check per collective).
+func (c *Comm) beginPhase(name string) PhaseObserver {
+	if po := c.r.w.phObs; po != nil {
+		po.PhaseBegin(c.r.id, name, c.r.proc.Now())
+		return po
+	}
+	return nil
+}
+
+// endPhase closes a span opened by beginPhase.
+func (c *Comm) endPhase(po PhaseObserver, name string) {
+	if po != nil {
+		po.PhaseEnd(c.r.id, name, c.r.proc.Now())
+	}
+}
+
 // Barrier synchronizes all ranks with the dissemination algorithm:
 // ceil(log2 P) rounds of zero-byte exchanges.
 func (c *Comm) Barrier() {
+	po := c.beginPhase("barrier")
+	c.barrier()
+	c.endPhase(po, "barrier")
+}
+
+func (c *Comm) barrier() {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -87,6 +111,12 @@ func (c *Comm) Allreduce(buf []float64, op Op) {
 	if c.Size() == 1 {
 		return
 	}
+	po := c.beginPhase("allreduce")
+	c.allreduce(buf, op)
+	c.endPhase(po, "allreduce")
+}
+
+func (c *Comm) allreduce(buf []float64, op Op) {
 	switch c.r.w.cfg.Allreduce {
 	case AllreduceRecursiveDoubling:
 		c.allreduceRD(buf, op)
@@ -273,6 +303,12 @@ func (c *Comm) allreduceRing(buf []float64, op Op) {
 
 // Bcast broadcasts root's buf to all ranks over a binomial tree.
 func (c *Comm) Bcast(buf []float64, root int) {
+	po := c.beginPhase("bcast")
+	c.bcast(buf, root)
+	c.endPhase(po, "bcast")
+}
+
+func (c *Comm) bcast(buf []float64, root int) {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -315,6 +351,12 @@ func lowestPow2Above(v int) int {
 // Non-root buffers are left with their partial reductions (like MPI,
 // their contents are undefined afterwards; do not rely on them).
 func (c *Comm) Reduce(buf []float64, root int, op Op) {
+	po := c.beginPhase("reduce")
+	c.reduce(buf, root, op)
+	c.endPhase(po, "reduce")
+}
+
+func (c *Comm) reduce(buf []float64, root int, op Op) {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -360,6 +402,12 @@ func (c *Comm) AllreduceScalar(v float64, op Op) float64 {
 // len(buf)*Size() long on root (ignored elsewhere). Linear algorithm:
 // deployment-phase usage only, not on solver hot paths.
 func (c *Comm) Gather(buf []float64, root int, out []float64) {
+	po := c.beginPhase("gather")
+	c.gather(buf, root, out)
+	c.endPhase(po, "gather")
+}
+
+func (c *Comm) gather(buf []float64, root int, out []float64) {
 	p := c.Size()
 	n := len(buf)
 	if c.me == root {
@@ -381,6 +429,12 @@ func (c *Comm) Gather(buf []float64, root int, out []float64) {
 // Scatter distributes root's in (len n*P) so each rank receives its
 // n-length block into buf. Linear algorithm.
 func (c *Comm) Scatter(in []float64, root int, buf []float64) {
+	po := c.beginPhase("scatter")
+	c.scatter(in, root, buf)
+	c.endPhase(po, "scatter")
+}
+
+func (c *Comm) scatter(in []float64, root int, buf []float64) {
 	p := c.Size()
 	n := len(buf)
 	if c.me == root {
@@ -402,6 +456,12 @@ func (c *Comm) Scatter(in []float64, root int, buf []float64) {
 // Allgather concatenates every rank's buf into out (len(buf)*Size()) on
 // all ranks, using the ring algorithm.
 func (c *Comm) Allgather(buf []float64, out []float64) {
+	po := c.beginPhase("allgather")
+	c.allgather(buf, out)
+	c.endPhase(po, "allgather")
+}
+
+func (c *Comm) allgather(buf []float64, out []float64) {
 	p := c.Size()
 	n := len(buf)
 	if len(out) != n*p {
@@ -424,6 +484,12 @@ func (c *Comm) Allgather(buf []float64, out []float64) {
 // Alltoall exchanges blocks: rank i's in[j*n:(j+1)*n] lands in rank j's
 // out[i*n:(i+1)*n]. Pairwise-exchange algorithm (P-1 balanced steps).
 func (c *Comm) Alltoall(in, out []float64, n int) {
+	po := c.beginPhase("alltoall")
+	c.alltoall(in, out, n)
+	c.endPhase(po, "alltoall")
+}
+
+func (c *Comm) alltoall(in, out []float64, n int) {
 	p := c.Size()
 	if len(in) != n*p || len(out) != n*p {
 		panic(fmt.Sprintf("mpi: alltoall buffer lengths %d/%d != %d", len(in), len(out), n*p))

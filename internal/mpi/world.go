@@ -45,8 +45,15 @@ type Config struct {
 	StartupSkew func(rank int) units.Seconds
 	// Observer, when non-nil, receives every completed point-to-point
 	// message (the trace package provides implementations). It runs
-	// under the deterministic scheduler, so it needs no locking.
+	// under the deterministic scheduler, so it needs no locking. An
+	// Observer that also implements PhaseObserver additionally receives
+	// collective phase spans.
 	Observer Observer
+	// KernelTracer, when non-nil, taps the vtime scheduler's
+	// switch/park/wake events (see vtime.Tracer). Same contract as
+	// Observer: deterministic callback order, no locking needed, and
+	// the execution's outcome does not depend on it.
+	KernelTracer vtime.Tracer
 }
 
 // Observer receives message-completion events for tracing.
@@ -54,6 +61,19 @@ type Observer interface {
 	// Message reports one delivered point-to-point message: endpoints,
 	// tag, payload size, transport name, send time, and arrival time.
 	Message(src, dst, tag int, size units.ByteSize, transport string, sent, arrived units.Seconds)
+}
+
+// PhaseObserver extends Observer with collective phase spans: every
+// public collective (Barrier, Allreduce, Bcast, ...) reports the
+// calling rank's entry and exit in virtual time. Spans nest — the
+// reduce+bcast allreduce reports its inner Reduce and Bcast inside the
+// allreduce span — and stay properly bracketed per rank.
+type PhaseObserver interface {
+	Observer
+	// PhaseBegin reports rank entering the named collective at start.
+	PhaseBegin(rank int, name string, start units.Seconds)
+	// PhaseEnd reports rank leaving the named collective at end.
+	PhaseEnd(rank int, name string, end units.Seconds)
 }
 
 // AllreduceAlgo selects the collective algorithm for Allreduce.
@@ -120,6 +140,10 @@ type World struct {
 	ranks []*Rank
 	nics  []*vtime.Resource
 	boxes []mailbox
+	// phObs is cfg.Observer pre-asserted to PhaseObserver (nil when the
+	// observer has no phase extension), so collectives pay one nil
+	// check per call instead of a type assertion.
+	phObs PhaseObserver
 }
 
 // Rank is the per-process handle passed to rank bodies.
@@ -180,6 +204,10 @@ func Run(cfg Config, body func(r *Rank)) (Stats, error) {
 	}
 	for n := range w.nics {
 		w.nics[n] = vtime.NewResource(fmt.Sprintf("nic-%d", n))
+	}
+	w.phObs, _ = cfg.Observer.(PhaseObserver)
+	if cfg.KernelTracer != nil {
+		w.sched.SetTracer(cfg.KernelTracer)
 	}
 	procs := w.sched.Procs()
 	for i := range w.ranks {

@@ -29,6 +29,11 @@ type ClientOptions struct {
 	// Backoff is the delay before the first retry, doubling each
 	// attempt. Default 100ms.
 	Backoff time.Duration
+	// Logf, when non-nil, receives one line per retried request —
+	// transient errors are otherwise invisible when the retry
+	// eventually succeeds, leaving a flaky link undiagnosed. The
+	// retry count is also always available in Stats().Retries.
+	Logf func(format string, args ...any)
 }
 
 // Client speaks the wire protocol and implements resultdb.Store, so a
@@ -43,6 +48,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	logf    func(format string, args ...any)
 
 	lookups, hits, negHits, puts, putErrors, retried, prefetchSkips atomic.Int64
 
@@ -88,6 +94,7 @@ func Dial(baseURL string, opt ClientOptions) (*Client, error) {
 		hc:      hc,
 		retries: retries,
 		backoff: backoff,
+		logf:    opt.Logf,
 	}
 	status, data, err := c.do(http.MethodGet, "/v1/schema", nil)
 	if err != nil {
@@ -151,6 +158,10 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 		delay := c.backoff << attempt
 		if delay > maxBackoff || delay <= 0 { // <= 0: shifted past overflow
 			delay = maxBackoff
+		}
+		if c.logf != nil {
+			c.logf("registry: %s %s%s: %v; retry %d of %d in %v",
+				method, c.base, path, lastErr, attempt+1, c.retries, delay)
 		}
 		time.Sleep(delay)
 	}

@@ -1,0 +1,181 @@
+package registry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resultdb"
+)
+
+// scrape fetches /v1/metrics and returns the exposition text.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMetricsEndpoint drives the full request surface and asserts the
+// scrape reflects it: request counters by route/status, store op
+// counters, and latency histograms.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, c := newRegistry(t)
+
+	if err := c.Put(key(1), sample(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Lookup(key(1)); !ok || err != nil {
+		t.Fatalf("lookup after put: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := c.Lookup(key(2)); ok || err != nil {
+		t.Fatalf("lookup of absent key: ok=%v err=%v", ok, err)
+	}
+	if err := c.PutError(key(3), "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Lookup(key(3)); !ok || err != nil {
+		t.Fatalf("lookup of failure record: ok=%v err=%v", ok, err)
+	}
+
+	text := scrape(t, ts.URL)
+	for _, want := range []string{
+		`registry_store_ops_total{op="hit"} 1`,
+		`registry_store_ops_total{op="miss"} 1`,
+		`registry_store_ops_total{op="neg_hit"} 1`,
+		`registry_store_ops_total{op="put"} 1`,
+		`registry_store_ops_total{op="put_error"} 1`,
+		`registry_requests_total{method="GET",route="cells",status="200"} 2`,
+		`registry_requests_total{method="GET",route="cells",status="404"} 1`,
+		`registry_requests_total{method="PUT",route="cells",status="204"} 2`,
+		`registry_requests_total{method="GET",route="schema",status="200"} 1`,
+		`# TYPE registry_request_seconds histogram`,
+		`registry_request_seconds_bucket{route="cells",le="+Inf"} 5`,
+		`registry_inflight_puts 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape lacks %q:\n%s", want, text)
+		}
+	}
+
+	// The scrape counts itself only after serving: a second scrape sees
+	// exactly one prior metrics request.
+	text = scrape(t, ts.URL)
+	if want := `registry_requests_total{method="GET",route="metrics",status="200"} 1`; !strings.Contains(text, want) {
+		t.Fatalf("scrape lacks %q:\n%s", want, text)
+	}
+}
+
+// TestAccessLog: every request produces one log line carrying a
+// request ID, method, path, and status.
+func TestAccessLog(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var mu sync.Mutex
+	var lines []string
+	srv := NewServer(store, ServerOptions{Logf: func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok, err := c.Lookup(key(9)); ok || err != nil {
+		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 { // schema handshake + lookup
+		t.Fatalf("access log has %d lines, want 2: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "req 1: GET /v1/schema") || !strings.Contains(lines[0], ": 200") {
+		t.Fatalf("first access line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "req 2: GET /v1/cells/"+key(9)) || !strings.Contains(lines[1], ": 404") {
+		t.Fatalf("second access line %q", lines[1])
+	}
+}
+
+// TestClientRetryLog: a transient failure that a retry absorbs still
+// surfaces through ClientOptions.Logf (and the Retries counter).
+func TestClientRetryLog(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	real := NewServer(store, ServerOptions{})
+	var mu sync.Mutex
+	failures := 1
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		fail := failures > 0
+		if fail {
+			failures--
+		}
+		mu.Unlock()
+		if fail {
+			http.Error(w, "wobble", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	var logMu sync.Mutex
+	var logged []string
+	c, err := Dial(flaky.URL, ClientOptions{
+		Retries: 3,
+		Backoff: time.Millisecond,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err) // the failure burns into the handshake's retries
+	}
+	defer c.Close()
+	if got := c.Stats().Retries; got != 1 {
+		t.Fatalf("Retries = %d, want 1", got)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logged) != 1 {
+		t.Fatalf("retry log has %d lines, want 1: %v", len(logged), logged)
+	}
+	line := logged[0]
+	if !strings.Contains(line, "GET") || !strings.Contains(line, "/v1/schema") ||
+		!strings.Contains(line, "HTTP 503") || !strings.Contains(line, "retry 1 of 3") {
+		t.Fatalf("retry line %q lacks method/path/cause/attempt", line)
+	}
+}

@@ -8,9 +8,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/resultdb"
+	"repro/internal/telemetry"
 )
 
 // maxRecordBytes bounds a PUT body (and, client-side, a response) at
@@ -40,27 +44,98 @@ type ServerOptions struct {
 // Server exposes one resultdb.DirStore over the wire protocol. It is
 // an http.Handler, so tests mount it on httptest and production wraps
 // it in Serve for lifecycle management.
+//
+// Every request is observed: counted by route/method/status, timed
+// into a latency histogram, and access-logged with a request ID
+// through Logf. GET /v1/metrics exposes the whole registry in
+// Prometheus text format.
 type Server struct {
-	store *resultdb.DirStore
-	opt   ServerOptions
-	mux   *http.ServeMux
+	store   *resultdb.DirStore
+	opt     ServerOptions
+	mux     *http.ServeMux
+	metrics *telemetry.Registry
+	reqID   atomic.Int64
 }
+
+// requestBuckets are the latency histogram bounds (seconds): local
+// stores answer in microseconds, a loaded registry with a slow disk in
+// tens of milliseconds.
+var requestBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
 
 // NewServer wraps a directory store in the wire protocol.
 func NewServer(store *resultdb.DirStore, opt ServerOptions) *Server {
 	if opt.ShutdownGrace <= 0 {
 		opt.ShutdownGrace = 30 * time.Second
 	}
-	s := &Server{store: store, opt: opt, mux: http.NewServeMux()}
+	s := &Server{store: store, opt: opt, mux: http.NewServeMux(), metrics: telemetry.NewRegistry()}
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/cells/{key}", s.handleGet)
 	s.mux.HandleFunc("PUT /v1/cells/{key}", s.handlePut)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Metrics returns the server's metrics registry (tests and embedders
+// can read or extend it).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// routeOf maps a request path to its metric label, so cell keys never
+// explode the label space.
+func routeOf(path string) string {
+	switch {
+	case path == "/v1/schema":
+		return "schema"
+	case path == "/v1/manifest":
+		return "manifest"
+	case path == "/v1/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/v1/cells/"):
+		return "cells"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// ServeHTTP implements http.Handler: the observability middleware
+// around the route mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	route := routeOf(r.URL.Path)
+	if r.Method == http.MethodPut && route == "cells" {
+		inflight := s.metrics.Gauge("registry_inflight_puts", "PUT requests currently being processed.")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	s.metrics.Counter("registry_requests_total", "Requests by route, method, and status.",
+		telemetry.L("route", route), telemetry.L("method", r.Method),
+		telemetry.L("status", strconv.Itoa(sw.status))).Inc()
+	s.metrics.Histogram("registry_request_seconds", "Request latency by route.",
+		requestBuckets, telemetry.L("route", route)).Observe(elapsed.Seconds())
+	s.logf("registry: req %d: %s %s from %s: %d (%v)",
+		id, r.Method, r.URL.Path, r.RemoteAddr, sw.status, elapsed.Round(time.Microsecond))
+}
+
+// storeOp counts one backing-store operation on the request path.
+func (s *Server) storeOp(op string) {
+	s.metrics.Counter("registry_store_ops_total", "Backing-store operations by kind.",
+		telemetry.L("op", op)).Inc()
+}
 
 // logf forwards to the configured logger, if any.
 func (s *Server) logf(format string, args ...any) {
@@ -96,6 +171,17 @@ func (s *Server) rejectSchema(w http.ResponseWriter, r *http.Request) bool {
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wireSchema{Schema: resultdb.SchemaVersion()})
+}
+
+// handleMetrics renders the metrics registry in Prometheus text
+// exposition format. The scrape itself is counted by the middleware
+// after it is served, so the numbers a scrape reports never include
+// that scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WriteProm(w); err != nil {
+		s.logf("registry: metrics write failed: %v", err)
+	}
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
@@ -138,8 +224,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
+		s.storeOp("miss")
 		writeJSON(w, http.StatusNotFound, wireError{Code: codeNotFound, Error: "no record for " + key})
 		return
+	}
+	if ent.Err != "" {
+		s.storeOp("neg_hit")
+	} else {
+		s.storeOp("hit")
 	}
 	writeJSON(w, http.StatusOK, wireRecord{
 		Schema: resultdb.SchemaVersion(),
@@ -195,6 +287,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, wireError{Code: "internal", Error: err.Error()})
 		return
 	}
+	if rec.Error != "" {
+		s.storeOp("put_error")
+	} else {
+		s.storeOp("put")
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -225,8 +322,16 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 				case now := <-t.C:
 					rep, err := s.store.GC(now, s.opt.GC)
 					if err != nil {
+						s.metrics.Counter("registry_gc_runs_total", "GC passes by outcome.",
+							telemetry.L("outcome", "error")).Inc()
 						s.logf("registry: gc failed: %v", err)
-					} else if rep.Evicted > 0 {
+						continue
+					}
+					s.metrics.Counter("registry_gc_runs_total", "GC passes by outcome.",
+						telemetry.L("outcome", "ok")).Inc()
+					s.metrics.Counter("registry_gc_evicted_total", "Records evicted by GC.").Add(float64(rep.Evicted))
+					s.metrics.Counter("registry_gc_evicted_bytes_total", "Bytes evicted by GC.").Add(float64(rep.EvictedBytes))
+					if rep.Evicted > 0 {
 						s.logf("registry: %s", rep)
 					}
 				}

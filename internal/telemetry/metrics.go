@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a zero-dependency metrics registry: counters, gauges,
+// and histograms, each optionally labelled. It is the one model behind
+// every stats surface in the repository — study sweeps, the content
+// store, the vtime kernel, and the registry service all fold into it —
+// and it renders deterministically as Prometheus text exposition
+// (families and series in sorted order, shortest-round-trip floats).
+//
+// All operations are safe for concurrent use; recording is a mutex
+// plus a float add, cheap enough for per-request paths but not meant
+// for kernel-hot loops (those use vtime.Counters and fold in after the
+// run).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// metric kinds, named as Prometheus TYPE values.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+type family struct {
+	name    string
+	help    string
+	kind    string
+	buckets []float64 // histogram upper bounds, ascending
+	series  map[string]*Series
+}
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L builds a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Series is one labelled time series within a family. Values are
+// updated under the registry's lock via the typed handles below.
+type Series struct {
+	reg    *Registry
+	fam    *family
+	labels []Label // sorted by name
+	value  float64 // counter/gauge value, or histogram sum
+	count  uint64  // histogram observation count
+	counts []uint64
+}
+
+// Counter is a monotonically increasing series handle.
+type Counter struct{ s *Series }
+
+// Gauge is a set-or-adjust series handle.
+type Gauge struct{ s *Series }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ s *Series }
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns the named family, creating it with the given kind, or
+// panics if it exists with a different kind (a programming error).
+func (r *Registry) family(name, help, kind string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]*Series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// sig returns the canonical key for a sorted label set.
+func sig(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// series returns the labelled series in f, creating it on first use.
+func (r *Registry) series(f *family, labels []Label) *Series {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	key := sig(ls)
+	s, ok := f.series[key]
+	if !ok {
+		s = &Series{reg: r, fam: f, labels: ls}
+		if f.kind == kindHistogram {
+			s.counts = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Counter{r.series(r.family(name, help, kindCounter, nil), labels)}
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Gauge{r.series(r.family(name, help, kindGauge, nil), labels)}
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// ascending upper bounds (an implicit +Inf bucket is always added).
+// Bounds are fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Histogram{r.series(r.family(name, help, kindHistogram, buckets), labels)}
+}
+
+// Add increments the counter by v (v must be ≥ 0).
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		panic("telemetry: counter decremented")
+	}
+	c.s.reg.mu.Lock()
+	c.s.value += v
+	c.s.reg.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	g.s.reg.mu.Lock()
+	g.s.value = v
+	g.s.reg.mu.Unlock()
+}
+
+// Add adjusts the gauge by v (which may be negative).
+func (g Gauge) Add(v float64) {
+	g.s.reg.mu.Lock()
+	g.s.value += v
+	g.s.reg.mu.Unlock()
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	h.s.reg.mu.Lock()
+	h.s.value += v
+	h.s.count++
+	for i, ub := range h.s.fam.buckets {
+		if v <= ub {
+			h.s.counts[i]++ // per-bucket; WriteProm accumulates into le= cumulative form
+			break
+		}
+	}
+	h.s.reg.mu.Unlock()
+}
+
+// Value returns the current value of the counter or gauge series with
+// exactly these labels, and whether such a series exists. For
+// histograms it returns the sum of observations.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return 0, false
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	s, ok := f.series[sig(ls)]
+	if !ok {
+		return 0, false
+	}
+	return s.value, true
+}
+
+// promFloat renders a value the way Prometheus clients do: shortest
+// representation that round-trips.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLabels renders a sorted label set as {a="x",b="y"}, with extra
+// appended last (used for histogram le). Empty sets render as "".
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies Prometheus label-value escaping.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteProm renders the registry in Prometheus text exposition format
+// (version 0.0.4). Families and series are emitted in sorted order, so
+// the same metric state always produces the same bytes. The map
+// iterations below feed sort.Slice before anything is written.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families { //lint:allow maporder -- collected then sorted by name before output
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		series := make([]*Series, 0, len(f.series))
+		for _, s := range f.series { //lint:allow maporder -- collected then sorted by label signature before output
+			series = append(series, s)
+		}
+		sort.Slice(series, func(i, j int) bool { return sig(series[i].labels) < sig(series[j].labels) })
+
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range series {
+			switch f.kind {
+			case kindHistogram:
+				var cum uint64
+				for i, ub := range f.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						promLabels(s.labels, L("le", promFloat(ub))), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, promLabels(s.labels, L("le", "+Inf")), s.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, promLabels(s.labels), promFloat(s.value))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, promLabels(s.labels), s.count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, promLabels(s.labels), promFloat(s.value))
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeValue(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "ops", L("op", "put"))
+	c.Inc()
+	c.Add(2)
+	if v, ok := reg.Value("ops_total", L("op", "put")); !ok || v != 3 {
+		t.Fatalf("counter = %v, %v; want 3, true", v, ok)
+	}
+	// Label order must not matter for identity.
+	reg.Counter("ops_total", "ops", L("op", "get"), L("tier", "local")).Inc()
+	if v, ok := reg.Value("ops_total", L("tier", "local"), L("op", "get")); !ok || v != 1 {
+		t.Fatalf("reordered labels = %v, %v; want 1, true", v, ok)
+	}
+	g := reg.Gauge("inflight", "gauge")
+	g.Set(5)
+	g.Add(-2)
+	if v, _ := reg.Value("inflight"); v != 3 {
+		t.Fatalf("gauge = %v, want 3", v)
+	}
+	if _, ok := reg.Value("missing"); ok {
+		t.Fatal("missing family reported present")
+	}
+	if _, ok := reg.Value("ops_total", L("op", "nope")); ok {
+		t.Fatal("missing series reported present")
+	}
+}
+
+func TestCounterPanicsOnDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "c").Add(-1)
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.01"} 1
+lat_seconds_bucket{le="0.1"} 3
+lat_seconds_bucket{le="1"} 4
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 5.605
+lat_seconds_count 5
+`
+	if b.String() != want {
+		t.Fatalf("prom output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWritePromDeterministicAndSorted(t *testing.T) {
+	build := func(reverse bool) string {
+		reg := NewRegistry()
+		names := []string{"b_total", "a_total"}
+		if reverse {
+			names = []string{"a_total", "b_total"}
+		}
+		for _, n := range names {
+			reg.Counter(n, "help "+n, L("z", "1")).Inc()
+			reg.Counter(n, "help "+n, L("a", "1")).Inc()
+		}
+		var b bytes.Buffer
+		if err := reg.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first, second := build(false), build(true)
+	if first != second {
+		t.Fatalf("registration order leaked into output:\n%s\nvs:\n%s", first, second)
+	}
+	want := `# HELP a_total help a_total
+# TYPE a_total counter
+a_total{a="1"} 1
+a_total{z="1"} 1
+# HELP b_total help b_total
+# TYPE b_total counter
+b_total{a="1"} 1
+b_total{z="1"} 1
+`
+	if first != want {
+		t.Fatalf("prom output:\n%s\nwant:\n%s", first, want)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c", L("path", "a\\b\"c\nd")).Inc()
+	var b bytes.Buffer
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{path="a\\b\"c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as gauge did not panic")
+		}
+	}()
+	reg.Gauge("m", "m")
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a structured sweep progress reporter: cells done,
+// simulated vs cache-hit split, completion rate, and ETA. It lives on
+// the host side of the determinism boundary — rate and ETA are wall
+// time, which is why its output goes to a side channel (stderr in the
+// CLI) and never into result or figure bytes.
+//
+// Event is safe to call from concurrent sweep workers.
+type Progress struct {
+	w io.Writer
+
+	mu        sync.Mutex
+	start     time.Time
+	lastPrint time.Time
+	simulated int
+	cached    int
+}
+
+// progressInterval throttles printing so a cache-warm sweep replaying
+// thousands of cells does not flood the terminal. The final event
+// (done == total) always prints.
+const progressInterval = 500 * time.Millisecond
+
+// NewProgress creates a reporter writing to w.
+func NewProgress(w io.Writer) *Progress {
+	//lint:allow wallclock -- progress rate/ETA measure the host, not the simulation
+	return &Progress{w: w, start: time.Now()}
+}
+
+// Event records one completed cell (cached reports a store replay
+// rather than a simulation) and prints a progress line, throttled to
+// one per interval plus the final event.
+func (p *Progress) Event(done, total int, cached bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cached {
+		p.cached++
+	} else {
+		p.simulated++
+	}
+	//lint:allow wallclock -- progress rate/ETA measure the host, not the simulation
+	now := time.Now()
+	final := done >= total
+	if !final && now.Sub(p.lastPrint) < progressInterval {
+		return
+	}
+	p.lastPrint = now
+
+	elapsed := now.Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	line := fmt.Sprintf("progress: %d/%d cells (%d simulated, %d cached)", done, total, p.simulated, p.cached)
+	if rate > 0 {
+		line += fmt.Sprintf(", %.1f cells/s", rate)
+		if !final {
+			eta := time.Duration(float64(total-done)/rate*1e9) * time.Nanosecond
+			line += fmt.Sprintf(", ETA %s", eta.Round(100*time.Millisecond))
+		}
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/resultdb"
+	"repro/internal/vtime"
+)
+
+func TestRenderStudyLines(t *testing.T) {
+	reg := NewRegistry()
+	RecordStudy(reg, "fig3", CellsSample{
+		Simulated:          5,
+		Replayed:           2,
+		FailuresReplayed:   1,
+		AdmissionRequested: 8,
+		AdmissionAdmitted:  2,
+		Store: &resultdb.StoreStats{
+			Lookups: 10, Hits: 2, NegHits: 1, Puts: 5, PutErrors: 1,
+			Retries: 3, PrefetchSkips: 4,
+		},
+		Kernel: vtime.Counters{
+			Switches: 100, PingPong: 40, SyncFast: 10,
+			HeapOps: 20, Wakes: 60, WakeBatches: 5,
+		},
+	})
+	var b bytes.Buffer
+	RenderStudy(&b, reg, "fig3", 32768)
+	want := "" +
+		"  fig3 cells: 5 simulated, 2 replayed, 1 failures replayed\n" +
+		"  fig3 admission: 2 of 8 workers admitted (rank budget 32768 simulated ranks)\n" +
+		"  fig3 store: 2 hits, 7 misses (4 answered by prefetch), 5 puts, 1 failure records, 1 negative hits, 3 retries\n" +
+		"  fig3 kernel: 100 switches (40 ping-pong), 10 sync fast-path, 20 heap ops, 60 wakes (5 batched flushes)\n"
+	if b.String() != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestRenderStudyOmitsConditionalLines(t *testing.T) {
+	reg := NewRegistry()
+	// No store, and admission unclamped (admitted == requested): only
+	// the cells and kernel lines appear.
+	RecordStudy(reg, "fig1", CellsSample{
+		Simulated:          3,
+		AdmissionRequested: 4,
+		AdmissionAdmitted:  4,
+	})
+	var b bytes.Buffer
+	RenderStudy(&b, reg, "fig1", 32768)
+	out := b.String()
+	if strings.Contains(out, "store:") || strings.Contains(out, "admission:") {
+		t.Fatalf("unexpected conditional lines:\n%s", out)
+	}
+	if !strings.Contains(out, "fig1 cells: 3 simulated, 0 replayed, 0 failures replayed") ||
+		!strings.Contains(out, "fig1 kernel: 0 switches") {
+		t.Fatalf("missing unconditional lines:\n%s", out)
+	}
+}
+
+func TestRecordStudyMetricsScrapeable(t *testing.T) {
+	reg := NewRegistry()
+	RecordStudy(reg, "s", CellsSample{Simulated: 2, Replayed: 1})
+	var b bytes.Buffer
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`study_cells_total{outcome="simulated",study="s"} 2`,
+		`study_cells_total{outcome="replayed",study="s"} 1`,
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Fatalf("scrape lacks %q:\n%s", line, b.String())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestRingKeepsNewestEvents(t *testing.T) {
+	tr := NewCellTrace("ring", 4)
+	for i := 0; i < 6; i++ {
+		tr.Switch(i, i+1, 0)
+	}
+	if tr.Len() != 4 || tr.Total() != 6 {
+		t.Fatalf("len %d total %d, want 4 and 6", tr.Len(), tr.Total())
+	}
+	got := tr.ordered()
+	for i, e := range got {
+		if want := i + 2; e.a != want {
+			t.Fatalf("ordered[%d].a = %d, want %d (oldest-first after drop)", i, e.a, want)
+		}
+	}
+}
+
+func TestExportGolden(t *testing.T) {
+	tr := NewCellTrace("tiny", 8)
+	tr.Switch(-1, 0, 0)
+	tr.PhaseBegin(0, "barrier", 1e-6)
+	tr.Park(0, "recv", 2e-6)
+	tr.Wake(1, 0, 3e-6)
+	tr.Message(1, 0, 7, 4096, "shm", 2e-6, 3.5e-6)
+	tr.PhaseEnd(0, "barrier", 4e-6)
+	tr.FlushWakes(2, 5e-6)
+	tr.SetKernel(vtime.Counters{Switches: 3, Wakes: 1})
+	data, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"tiny"}},` +
+		`{"name":"switch","cat":"kernel","ph":"i","ts":0,"pid":0,"tid":0,"args":{"from":-1}},` +
+		`{"name":"barrier","cat":"collective","ph":"B","ts":1,"pid":0,"tid":0},` +
+		`{"name":"park","cat":"kernel","ph":"i","ts":2,"pid":0,"tid":0,"args":{"tag":"recv"}},` +
+		`{"name":"wake","cat":"kernel","ph":"i","ts":3,"pid":0,"tid":1,"args":{"woken":0}},` +
+		`{"name":"msg","cat":"mpi","ph":"X","ts":2,"dur":1.5,"pid":0,"tid":0,"args":{"src":1,"dst":0,"tag":7,"bytes":4096,"transport":"shm"}},` +
+		`{"name":"barrier","cat":"collective","ph":"E","ts":4,"pid":0,"tid":0},` +
+		`{"name":"flush-wakes","cat":"kernel","ph":"i","ts":5,"pid":0,"tid":-1,"args":{"batch":2}}],` +
+		`"displayTimeUnit":"ms",` +
+		`"otherData":{"label":"tiny","clock":"virtual","totalEvents":7,"droppedEvents":0,` +
+		`"kernel":{"switches":3,"syncFast":0,"pingPong":0,"wakes":1,"wakeBatches":0,"heapOps":0}}}` + "\n"
+	if string(data) != want {
+		t.Fatalf("export:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+func TestExportValidJSONAndWriteFile(t *testing.T) {
+	tr := NewCellTrace("cell", 0)
+	tr.Switch(-1, 0, 0)
+	tr.Message(0, 1, 0, 8, "tcp", 0, 1e-6)
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := tr.WriteFile(dir, "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "deadbeef.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + 2 events
+		t.Fatalf("traceEvents = %d, want 3", len(doc.TraceEvents))
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event %d lacks %q: %v", i, k, ev)
+			}
+		}
+	}
+	if doc.OtherData["clock"] != "virtual" {
+		t.Fatalf("otherData.clock = %v, want virtual", doc.OtherData["clock"])
+	}
+}

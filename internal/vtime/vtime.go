@@ -89,6 +89,27 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// Tracer receives the kernel's scheduling events, timestamped in
+// virtual time. Every callback runs under the single-running-process
+// invariant (the event source is the scheduler itself), so
+// implementations need no locking — but they must not yield, block, or
+// touch kernel state: a tracer is a passive tap on the schedule, and
+// anything it does is charged to no process.
+type Tracer interface {
+	// Switch reports a direct handoff: control passed from proc `from`
+	// to proc `to`, whose clock reads now. from is -1 for the initial
+	// handoff out of the Run goroutine.
+	Switch(from, to int, now units.Seconds)
+	// Park reports proc id blocking on tag at time now.
+	Park(id int, tag string, now units.Seconds)
+	// Wake reports proc waker making proc woken runnable; now is the
+	// woken process's (possibly advanced) clock.
+	Wake(waker, woken int, now units.Seconds)
+	// FlushWakes reports a batched fold of k > 1 pending waiters into
+	// the run queue, observed at virtual time now.
+	FlushWakes(k int, now units.Seconds)
+}
+
 // Proc is one simulated process. All methods must be called from the
 // process's own goroutine while it is the running process, except Wake
 // and WakeAll, which a running process calls on blocked peers.
@@ -160,6 +181,9 @@ func (p *Proc) Block(tag string) {
 	p.checkRunning("Block")
 	p.state = stateBlocked
 	p.blockTag = tag
+	if t := p.sched.trace; t != nil {
+		t.Park(p.ID, tag, p.now)
+	}
 	p.sched.scheduleNext()
 	<-p.resume
 }
@@ -183,6 +207,9 @@ func (p *Proc) Wake(q *Proc, at units.Seconds) {
 		s.pendingMin = q
 	}
 	s.counters.Wakes++
+	if s.trace != nil {
+		s.trace.Wake(p.ID, q.ID, q.now)
+	}
 }
 
 // WakeAll wakes every blocked proc in peers at time at. The peers are
@@ -218,6 +245,12 @@ type Scheduler struct {
 	// failure records the first process panic, re-raised from Run.
 	failure  string
 	counters Counters
+	// running is the proc currently holding control, tracked so the
+	// tracer can attribute handoffs to their source. Maintained only
+	// when a tracer is attached — the hot path stays untouched without
+	// one.
+	running *Proc
+	trace   Tracer
 }
 
 // NewScheduler creates a scheduler for n processes starting at time 0.
@@ -246,12 +279,25 @@ func (s *Scheduler) Procs() []*Proc { return s.procs }
 // after Run returns.
 func (s *Scheduler) Counters() Counters { return s.counters }
 
+// SetTracer attaches a scheduling-event tap. Call it before Run; nil
+// detaches. Tracing does not perturb the schedule — the same cell
+// produces the same execution, traced or not.
+func (s *Scheduler) SetTracer(t Tracer) { s.trace = t }
+
 // handoff transfers control to next: the caller stops being the
 // running process (it parks, finishes, or is the Run goroutine at
 // startup) and next starts. One synchronization hop.
 func (s *Scheduler) handoff(next *Proc) {
 	next.state = stateRunning
 	s.counters.Switches++
+	if s.trace != nil {
+		from := -1
+		if s.running != nil {
+			from = s.running.ID
+		}
+		s.trace.Switch(from, next.ID, next.now)
+		s.running = next
+	}
 	next.resume <- struct{}{}
 }
 
@@ -382,6 +428,13 @@ func (s *Scheduler) flushWakes() {
 		s.push(s.pending[0])
 	} else {
 		s.counters.WakeBatches++
+		if s.trace != nil {
+			var at units.Seconds
+			if s.running != nil {
+				at = s.running.now
+			}
+			s.trace.FlushWakes(k, at)
+		}
 		s.counters.HeapOps += int64(k)
 		n := len(s.heap)
 		s.heap = append(s.heap, s.pending...)
