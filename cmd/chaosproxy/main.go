@@ -1,0 +1,50 @@
+// Command chaosproxy relays TCP connections to a target with injected
+// faults — per-connection delay and periodic resets — so smoke tests
+// can put a degraded network between a real coordinator process and
+// real worker processes (see the CI chaos-smoke job).
+//
+// Usage:
+//
+//	chaosproxy -listen 127.0.0.1:8425 -target 127.0.0.1:8420 [-delay 150ms] [-reset-every 7]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/registry/chaostest"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to accept connections on")
+	target := flag.String("target", "", "address to relay connections to")
+	delay := flag.Duration("delay", 0, "added latency per connection, before any bytes flow")
+	resetEvery := flag.Int("reset-every", 0, "abruptly close every Nth connection (0 = never)")
+	flag.Parse()
+	if *target == "" || flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := chaostest.NewProxy(*listen, *target, chaostest.ProxyOptions{
+		Delay:      *delay,
+		ResetEvery: *resetEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaosproxy: %s -> %s (delay %v, reset every %d)\n", p.Addr(), *target, *delay, *resetEvery)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := p.Serve(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+}

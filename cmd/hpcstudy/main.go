@@ -115,6 +115,14 @@ type cliConfig struct {
 	traceDir   string // write per-cell Chrome Trace JSON here
 	progress   bool   // report sweep progress to stderr
 	pprofAddr  string // serve: opt-in net/http/pprof address
+
+	// Coordinated sweeps (serve -sweep hands out leases on /v1/work;
+	// the sweep verb pulls them).
+	sweepStudy  string        // serve: study/spec to coordinate
+	leaseTTL    time.Duration // serve: lease expiry without a heartbeat
+	leaseBatch  int           // serve: cells per lease
+	coordinator string        // sweep: coordinator registry URL
+	workerName  string        // sweep: display name in coordinator logs
 }
 
 // verbSummaries drives the top-level usage text, in display order.
@@ -124,6 +132,7 @@ var verbSummaries = [][2]string{
 	{"validate <spec.json>", "check a scenario spec and report its cells without running"},
 	{"merge <study|spec>", "assemble output purely from the result store"},
 	{"serve", "expose a -cache-dir store as a result registry over HTTP"},
+	{"sweep <study|spec>", "run a worker pulling leased cell batches from a coordinator (serve -sweep)"},
 	{"gc", "evict store records by total size and/or last access"},
 	{"help [verb]", "print this summary, or one verb's flags"},
 }
@@ -136,7 +145,8 @@ var verbFlags = map[string][]string{
 	"run":      {"list", "csv", "v", "parallel", "trace", "progress", "cache-dir", "cache-url", "shard"},
 	"merge":    {"quick", "csv", "v", "parallel", "progress", "cache-dir", "cache-url"},
 	"validate": {},
-	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age", "pprof"},
+	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age", "pprof", "sweep", "lease-ttl", "lease-batch", "quick"},
+	"sweep":    {"coordinator", "worker", "quick", "v", "parallel", "cache-dir", "trace"},
 	"gc":       {"cache-dir", "max-bytes", "max-age"},
 }
 
@@ -150,7 +160,8 @@ var verbSynopses = map[string]string{
 	"run":      "hpcstudy run [flags] <spec.json>",
 	"validate": "hpcstudy validate <spec.json>",
 	"merge":    "hpcstudy merge [flags] <study|spec.json>",
-	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]",
+	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-sweep STUDY -lease-ttl DUR -lease-batch N] [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]",
+	"sweep":    "hpcstudy sweep -coordinator URL [-worker NAME] [flags] <fig1|fig2|spec.json>",
 	"gc":       "hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]",
 }
 
@@ -214,6 +225,11 @@ func init() {
 	flag.StringVar(&cliFlags.traceDir, "trace", "", "write one Chrome Trace Event JSON per simulated cell into this directory")
 	flag.BoolVar(&cliFlags.progress, "progress", false, "report sweep progress (cells done, rate, ETA) to stderr")
 	flag.StringVar(&cliFlags.pprofAddr, "pprof", "", "serve: expose net/http/pprof on this address (off unless set)")
+	flag.StringVar(&cliFlags.sweepStudy, "sweep", "", "serve: coordinate this study (fig1|fig2|spec.json) over the /v1/work lease API")
+	flag.DurationVar(&cliFlags.leaseTTL, "lease-ttl", 30*time.Second, "serve: revoke a lease not heartbeated within this duration")
+	flag.IntVar(&cliFlags.leaseBatch, "lease-batch", 4, "serve: cells per leased batch")
+	flag.StringVar(&cliFlags.coordinator, "coordinator", "", "sweep: coordinator registry URL (hpcstudy serve -sweep)")
+	flag.StringVar(&cliFlags.workerName, "worker", "", "sweep: worker name in coordinator logs (default host:pid)")
 }
 
 func main() {
@@ -223,7 +239,7 @@ func main() {
 	verb := ""
 	if len(args) > 0 {
 		switch args[0] {
-		case "serve", "gc", "merge", "run", "validate", "help":
+		case "serve", "gc", "merge", "run", "validate", "sweep", "help":
 			verb, args = args[0], args[1:]
 		}
 	}
@@ -233,7 +249,7 @@ func main() {
 	rest := flag.Args()
 	if verb == "" && len(rest) > 0 {
 		switch rest[0] {
-		case "merge", "run", "validate", "help":
+		case "merge", "run", "validate", "sweep", "help":
 			verb, rest = rest[0], rest[1:]
 		}
 	}
@@ -270,6 +286,12 @@ func main() {
 			os.Exit(2)
 		}
 		err = runValidate(os.Stdout, rest[0])
+	case "sweep":
+		if len(rest) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = runSweep(os.Stdout, rest[0], cfg)
 	default:
 		if len(rest) != 1 {
 			flag.Usage()
@@ -372,13 +394,25 @@ func runServe(ctx context.Context, w io.Writer, cfg cliConfig) error {
 			}
 		}()
 	}
-	srv := containerhpc.NewRegistryServer(store, containerhpc.RegistryServerOptions{
+	srvOpt := containerhpc.RegistryServerOptions{
 		GCInterval: cfg.gcInterval,
 		GC:         gcPolicy,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
-	})
+	}
+	if cfg.sweepStudy != "" {
+		// Coordinator mode: enumerate the study against the store so
+		// already-committed cells are never issued (a restart resumes
+		// with exactly the un-committed remainder), then hand out the
+		// rest as leased batches on /v1/work.
+		work, err := buildWorkQueue(w, store, cfg)
+		if err != nil {
+			return err
+		}
+		srvOpt.Work = work
+	}
+	srv := containerhpc.NewRegistryServer(store, srvOpt)
 	return srv.ListenAndServe(ctx, cfg.listen)
 }
 

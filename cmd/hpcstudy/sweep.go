@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	containerhpc "repro"
+)
+
+// Coordinated sweeps: `hpcstudy serve -sweep <study>` turns the
+// registry into a sweep coordinator handing out leased cell batches on
+// /v1/work, and `hpcstudy sweep -coordinator URL <study>` runs a
+// worker that pulls batches, heartbeats in the background, and commits
+// results to the same registry. Both sides enumerate the study
+// themselves and compare stamps, so a worker can never simulate cells
+// for a study it was not started with.
+
+// sweepSpecs enumerates the cells of a coordinatable study: fig1,
+// fig2, or a scenario spec path. The other built-ins assemble several
+// sweeps with cross-cell post-processing and stay on static -shard.
+func sweepSpecs(which string, cfg cliConfig) (string, []containerhpc.CellSpec, error) {
+	switch which {
+	case "fig1":
+		opt := containerhpc.Options{}
+		if cfg.quick {
+			c := containerhpc.ArteryCFDLenox()
+			c.SimSteps = 1
+			opt.Case = c
+		}
+		return "fig1", containerhpc.Fig1Specs(opt), nil
+	case "fig2":
+		opt := containerhpc.Options{}
+		if cfg.quick {
+			c := containerhpc.ArteryCFDCTEPower()
+			c.SimSteps = 1
+			opt.Case = c
+			opt.NodePoints = quickFig2Nodes
+		}
+		return "fig2", containerhpc.Fig2Specs(opt), nil
+	}
+	if looksLikeSpec(which) {
+		if cfg.quick {
+			return "", nil, usageError("-quick trims the built-in studies; size a scenario via its spec (case.sim_steps)")
+		}
+		st, err := containerhpc.LoadScenario(which)
+		if err != nil {
+			return "", nil, err
+		}
+		return st.Name(), st.Cells(), nil
+	}
+	return "", nil, usageError(fmt.Sprintf(
+		"coordinated sweeps take fig1, fig2, or a scenario spec; %q is not one (the other studies assemble multiple sweeps — use -shard)", which))
+}
+
+// workCellsFor converts an enumeration into the coordinator's work
+// units: (key, label, deployment group) per cell, the key→spec map a
+// worker resolves leases against, and the enumeration stamp both
+// sides must agree on.
+func workCellsFor(name string, specs []containerhpc.CellSpec) ([]containerhpc.WorkCell, map[string]containerhpc.CellSpec, string, error) {
+	cells := make([]containerhpc.WorkCell, 0, len(specs))
+	byKey := make(map[string]containerhpc.CellSpec, len(specs))
+	keys := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		key, err := sp.Key()
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("fingerprinting %s: %w", sp.Label, err)
+		}
+		cells = append(cells, containerhpc.WorkCell{Key: key, Label: sp.Label, Group: sp.DeployGroup()})
+		byKey[key] = sp
+		keys = append(keys, key)
+	}
+	return cells, byKey, containerhpc.WorkStamp(name, keys), nil
+}
+
+// buildWorkQueue enumerates -sweep's study against the serve store and
+// builds the lease queue: cells the store already holds (successes and
+// recorded failures alike) are marked done up front, so a restarted
+// coordinator resumes with exactly the un-committed remainder.
+func buildWorkQueue(w io.Writer, store *containerhpc.DirStore, cfg cliConfig) (*containerhpc.WorkQueue, error) {
+	name, specs, err := sweepSpecs(cfg.sweepStudy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cells, _, _, err := workCellsFor(name, specs)
+	if err != nil {
+		return nil, err
+	}
+	return containerhpc.NewWorkQueue(cells, containerhpc.WorkQueueOptions{
+		Study:     name,
+		BatchSize: cfg.leaseBatch,
+		LeaseTTL:  cfg.leaseTTL,
+		Committed: func(key string) bool {
+			_, ok, err := store.Lookup(key)
+			return err == nil && ok
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	}), nil
+}
+
+// defaultWorkerName identifies a worker when -worker is not given.
+func defaultWorkerName() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+// runSweep is the worker mode: enumerate the study, dial the
+// coordinator (which is also the result registry the worker commits
+// to), and drain leased batches until the sweep is done. A killed
+// sibling's batches come back to us via lease expiry; if we are the
+// one losing leases (a coordinator outage outlasting the retry
+// budget), we exit with a resumable-state message and committed work
+// stays durable.
+func runSweep(w io.Writer, which string, cfg cliConfig) error {
+	if cfg.coordinator == "" {
+		return usageError("sweep needs -coordinator URL: the registry started with `hpcstudy serve -sweep`")
+	}
+	if cfg.cacheURL != "" {
+		return usageError("sweep commits to the coordinator itself; -cache-url does not apply")
+	}
+	if cfg.shard != "" {
+		return usageError("sweep batches are leased by the coordinator; -shard does not apply")
+	}
+	name, specs, err := sweepSpecs(which, cfg)
+	if err != nil {
+		return err
+	}
+	_, byKey, stamp, err := workCellsFor(name, specs)
+	if err != nil {
+		return err
+	}
+	worker := cfg.workerName
+	if worker == "" {
+		worker = defaultWorkerName()
+	}
+	clientOpt := containerhpc.RegistryClientOptions{JitterKey: worker}
+	if cfg.verbose {
+		clientOpt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	client, err := containerhpc.DialStoreWith(cfg.coordinator, clientOpt)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	var store containerhpc.Store = client
+	if cfg.cacheDir != "" {
+		local, err := containerhpc.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		store = containerhpc.NewTieredStore(local, client)
+		defer store.Close()
+	}
+	par := cfg.parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	stats := &containerhpc.SweepStats{}
+	eng := containerhpc.NewSweep(containerhpc.Options{
+		Parallelism: par,
+		Stats:       stats,
+		Store:       store,
+		TraceDir:    cfg.traceDir,
+	})
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	rep, err := containerhpc.RunWorker(client, containerhpc.WorkerOptions{
+		Name:     worker,
+		Stamp:    stamp,
+		Parallel: par,
+		Logf:     logf,
+		Run: func(wc containerhpc.WorkCell) error {
+			sp, ok := byKey[wc.Key]
+			if !ok {
+				return fmt.Errorf("lease names cell %s (%s) outside this worker's enumeration", wc.Key, wc.Label)
+			}
+			_, err := eng.RunOne(sp)
+			return err
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sweep %s: worker %s done: %d batches, %d cells run (%d simulated, %d replayed), %d failures, %d leases lost\n",
+		name, worker, rep.Batches, rep.Cells, stats.Computed.Load(), stats.Hits.Load()+stats.NegHits.Load(), rep.Failures, rep.LeasesLost)
+	if cfg.verbose {
+		st := client.Stats()
+		fmt.Fprintf(w, "sweep %s: store: %d lookups, %d hits, %d puts, %d retries\n",
+			name, st.Lookups, st.Hits, st.Puts, st.Retries)
+	}
+	return nil
+}

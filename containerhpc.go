@@ -139,6 +139,25 @@ type (
 	ScenarioFieldError = scenario.FieldError
 	// CellSpec is one unit of sweep work (a Scenario enumerates them).
 	CellSpec = experiments.CellSpec
+	// Sweep is the cell-execution engine behind every study: bounded
+	// parallelism, memoized image builds, store consultation/commit.
+	Sweep = experiments.Sweep
+	// WorkCell is one unit of leased work in a coordinated sweep: a
+	// cell's store key, label, and deployment-affinity group.
+	WorkCell = registry.WorkCell
+	// WorkQueue is the coordinator's lease manager (claim, heartbeat,
+	// expiry-requeue); attach it via RegistryServerOptions.Work to turn
+	// `hpcstudy serve` into a sweep coordinator.
+	WorkQueue = registry.WorkQueue
+	// WorkQueueOptions tunes batching, lease TTL, and heartbeat
+	// cadence.
+	WorkQueueOptions = registry.QueueOptions
+	// WorkStatus is the coordinator's progress snapshot (GET /v1/work).
+	WorkStatus = registry.WorkStatus
+	// WorkerOptions configures one coordinated-sweep worker;
+	// WorkerReport summarises its run (batches, cells, leases lost).
+	WorkerOptions = registry.WorkerOptions
+	WorkerReport  = registry.WorkerReport
 	// MetricsRegistry is the zero-dependency metrics model (counters,
 	// gauges, histograms) behind -v output and the registry service's
 	// GET /v1/metrics endpoint.
@@ -360,6 +379,37 @@ func RunCell(c Cell) (Result, error) { return core.RunCell(c) }
 
 // The experiments (paper §B/§C). The zero Options reproduces the
 // paper-scale sweep; see the experiments package for the knobs.
+
+// NewSweep creates a cell-execution engine honouring opt (parallelism,
+// store, shard, telemetry) — the building block for coordinated
+// workers that run individual cells via RunOne.
+func NewSweep(opt Options) *Sweep { return experiments.NewSweep(opt) }
+
+// Fig1Specs enumerates Figure 1's cells without running them (the
+// coordinator's view of the study).
+func Fig1Specs(opt Options) []CellSpec { return experiments.Fig1Specs(opt) }
+
+// Fig2Specs enumerates Figure 2's cells without running them.
+func Fig2Specs(opt Options) []CellSpec { return experiments.Fig2Specs(opt) }
+
+// NewWorkQueue builds the coordinator state for one sweep: cells
+// already committed (per opt.Committed) are never issued, the rest are
+// batched by deployment affinity and handed out as expiring leases.
+func NewWorkQueue(cells []WorkCell, opt WorkQueueOptions) *WorkQueue {
+	return registry.NewWorkQueue(cells, opt)
+}
+
+// WorkStamp fingerprints a study enumeration (name + cell keys in
+// sweep order); coordinator and workers must agree on it before
+// exchanging leases.
+func WorkStamp(study string, keys []string) string { return registry.WorkStamp(study, keys) }
+
+// RunWorker drains a coordinator's work queue: claim, heartbeat in the
+// background, run cells, settle, repeat until the sweep is done. See
+// registry.RunWorker for the failure semantics.
+func RunWorker(c *RegistryClient, opt WorkerOptions) (WorkerReport, error) {
+	return registry.RunWorker(c, opt)
+}
 
 // Fig1 regenerates Figure 1 (container solutions on Lenox).
 func Fig1(opt Options) (*experiments.Fig1Result, error) { return experiments.Fig1(opt) }

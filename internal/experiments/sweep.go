@@ -61,6 +61,27 @@ func (sp CellSpec) id() core.CellID {
 // Key returns the spec's content address in the result store.
 func (sp CellSpec) Key() (string, error) { return sp.id().Fingerprint() }
 
+// DeployGroup fingerprints the cell's deployment: runtime, image-source
+// cluster, and build technique — the same triple the engine memoizes
+// image builds under. A coordinator that batches cells by group keeps
+// each worker's builds warm instead of scattering one image's cells
+// across the fleet.
+func (sp CellSpec) DeployGroup() string {
+	src := sp.Cluster
+	if sp.ImageFrom != nil {
+		src = sp.ImageFrom
+	}
+	name := ""
+	if src != nil {
+		name = src.Name
+	}
+	rt := "baremetal"
+	if sp.Runtime != nil {
+		rt = sp.Runtime.Name()
+	}
+	return fmt.Sprintf("%s|%s|%d", rt, name, sp.Kind)
+}
+
 // Sweep executes study cells on a bounded worker pool. Each cell is an
 // independent virtual-time simulation, so cells run concurrently while
 // results keep deterministic input order — parallel sweeps are

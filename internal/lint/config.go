@@ -81,6 +81,12 @@ func DefaultConfig() *Config {
 		// host-side Progress reporter samples the wall clock only under
 		// explicit //lint:allow wallclock escapes.
 		"repro/internal/telemetry",
+		// registry carries lease deadlines, heartbeat cadence, and retry
+		// backoff — operational wall time that must stay behind explicit
+		// //lint:allow wallclock escapes so it can never leak into
+		// simulated results. The chaostest subpackage (exact match only)
+		// stays out: fault injection is wall time by design.
+		"repro/internal/registry",
 	}
 	return &Config{
 		Module:    "repro",
@@ -116,6 +122,10 @@ func DefaultConfig() *Config {
 			"repro/internal/registry.wireError",
 			"repro/internal/registry.wireSchema",
 			"repro/internal/registry.wireManifest",
+			"repro/internal/registry.wireClaimRequest",
+			"repro/internal/registry.wireClaim",
+			"repro/internal/registry.wireLeaseRequest",
+			"repro/internal/registry.WorkStatus",
 			"repro/internal/scenario.Spec",
 			"repro/internal/telemetry.chromeTrace",
 		},

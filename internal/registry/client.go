@@ -34,6 +34,14 @@ type ClientOptions struct {
 	// eventually succeeds, leaving a flaky link undiagnosed. The
 	// retry count is also always available in Stats().Retries.
 	Logf func(format string, args ...any)
+	// JitterKey, when non-empty, decorrelates this client's retry
+	// schedule from its peers': each delay is scaled into
+	// [delay/2, delay) by a hash of (key, path, attempt). A fleet of
+	// workers knocked loose by one coordinator restart then returns
+	// spread out instead of as a thundering herd — deterministically,
+	// so a given worker's schedule is reproducible. Empty keeps the
+	// exact exponential schedule.
+	JitterKey string
 }
 
 // Client speaks the wire protocol and implements resultdb.Store, so a
@@ -44,11 +52,12 @@ type ClientOptions struct {
 // a merge must distinguish "the registry is down" from "the cell was
 // never computed".
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	logf    func(format string, args ...any)
+	base      string
+	hc        *http.Client
+	retries   int
+	backoff   time.Duration
+	jitterKey string
+	logf      func(format string, args ...any)
 
 	lookups, hits, negHits, puts, putErrors, retried, prefetchSkips atomic.Int64
 
@@ -90,11 +99,12 @@ func Dial(baseURL string, opt ClientOptions) (*Client, error) {
 		backoff = 100 * time.Millisecond
 	}
 	c := &Client{
-		base:    strings.TrimRight(u.String(), "/"),
-		hc:      hc,
-		retries: retries,
-		backoff: backoff,
-		logf:    opt.Logf,
+		base:      strings.TrimRight(u.String(), "/"),
+		hc:        hc,
+		retries:   retries,
+		backoff:   backoff,
+		jitterKey: opt.JitterKey,
+		logf:      opt.Logf,
 	}
 	status, data, err := c.do(http.MethodGet, "/v1/schema", nil)
 	if err != nil {
@@ -159,12 +169,40 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 		if delay > maxBackoff || delay <= 0 { // <= 0: shifted past overflow
 			delay = maxBackoff
 		}
+		delay = jittered(c.jitterKey, path, attempt, delay)
 		if c.logf != nil {
 			c.logf("registry: %s %s%s: %v; retry %d of %d in %v",
 				method, c.base, path, lastErr, attempt+1, c.retries, delay)
 		}
+		//lint:allow wallclock -- retry backoff is transport pacing; cell contents are unaffected by when a request lands
 		time.Sleep(delay)
 	}
+}
+
+// jittered scales a backoff delay into [delay/2, delay) by a hash of
+// (key, path, attempt): deterministic per worker, decorrelated across
+// workers, so simultaneous retries fan out instead of herding. An
+// empty key returns delay unchanged.
+func jittered(key, path string, attempt int, delay time.Duration) time.Duration {
+	if key == "" || delay <= 0 {
+		return delay
+	}
+	// fnv64a, inlined: the same spread-by-hash trick resultdb uses for
+	// shard ownership.
+	h := uint64(14695981039346656037)
+	for _, s := range []string{key, path} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt)
+	h *= 1099511628211
+	// Top 53 bits → uniform fraction in [0, 1).
+	frac := float64(h>>11) / float64(1<<53)
+	return delay/2 + time.Duration(frac*float64(delay/2))
 }
 
 // maxBackoff caps the doubling retry delay so a generous retry budget

@@ -1,0 +1,91 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPutBodyTooLarge: an oversized PUT is cut off with a typed 413 —
+// the server never buffers past maxRecordBytes.
+func TestPutBodyTooLarge(t *testing.T) {
+	_, ts, _ := newRegistry(t)
+	// One byte past the limit; the reader streams zeros so the test
+	// does not allocate 32 MiB itself.
+	body := io.LimitReader(zeroReader{}, maxRecordBytes+1)
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/cells/"+key(1), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = maxRecordBytes + 1
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var we wireError
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Code != codeTooLarge {
+		t.Fatalf("error code %q, want %q", we.Code, codeTooLarge)
+	}
+	if !strings.Contains(we.Error, fmt.Sprint(maxRecordBytes)) {
+		t.Fatalf("413 body should name the limit: %q", we.Error)
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = '0'
+	}
+	return len(p), nil
+}
+
+// TestHTTPServerTimeouts: the production server carries connection
+// deadlines — defaulted when unset, honoured when set — so a stalled
+// peer cannot pin a connection forever.
+func TestHTTPServerTimeouts(t *testing.T) {
+	s := NewServer(nil, ServerOptions{})
+	hs := s.httpServer()
+	if hs.ReadTimeout != 2*time.Minute || hs.WriteTimeout != 2*time.Minute || hs.IdleTimeout != 5*time.Minute {
+		t.Fatalf("default deadlines: read %v write %v idle %v", hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout)
+	}
+	if hs.ReadHeaderTimeout == 0 {
+		t.Fatal("header read deadline must be set")
+	}
+	s = NewServer(nil, ServerOptions{
+		ReadTimeout:  3 * time.Second,
+		WriteTimeout: 4 * time.Second,
+		IdleTimeout:  5 * time.Second,
+	})
+	hs = s.httpServer()
+	if hs.ReadTimeout != 3*time.Second || hs.WriteTimeout != 4*time.Second || hs.IdleTimeout != 5*time.Second {
+		t.Fatalf("explicit deadlines not honoured: read %v write %v idle %v", hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout)
+	}
+}
+
+// TestWorkAPIWithoutQueue: a plain cache server is not a coordinator;
+// the work endpoints answer a typed 404 and the client surfaces it as
+// a distinct error, not a retry loop.
+func TestWorkAPIWithoutQueue(t *testing.T) {
+	_, _, c := newRegistry(t)
+	if _, err := c.ClaimWork("w"); err == nil || !strings.Contains(err.Error(), "not coordinating") {
+		t.Fatalf("claim against a non-coordinator: %v", err)
+	}
+	if _, err := c.FetchWorkStatus(); err == nil || !strings.Contains(err.Error(), "not coordinating") {
+		t.Fatalf("status against a non-coordinator: %v", err)
+	}
+	if _, err := c.HeartbeatWork("lease-1"); err == nil || !strings.Contains(err.Error(), "not coordinating") {
+		t.Fatalf("heartbeat against a non-coordinator: %v", err)
+	}
+}

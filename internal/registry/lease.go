@@ -1,0 +1,396 @@
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the sweep coordinator's control plane: a WorkQueue of
+// leased cell batches behind the /v1/work endpoints. The design goal
+// is fault tolerance with no correctness dependence on timing:
+//
+//   - Work is handed out as leases with a deadline. A worker that goes
+//     silent past the deadline loses the lease and its unfinished
+//     cells return to the queue for the next claimant.
+//   - Every cell commit is content-addressed and idempotent, so a
+//     revoked worker's in-flight commits are never corruption — at
+//     worst a cell is computed twice, and the second commit is a
+//     no-op.
+//   - Requeueing consults the store first: cells the dead worker
+//     already committed (successes and recorded failures alike) are
+//     marked done, never re-issued. The same check seeds the queue at
+//     construction, so a restarted coordinator recovers exactly the
+//     un-committed remainder of the sweep from the manifest + store.
+//
+// Expiry is lazy: deadlines are checked against the queue's clock at
+// every claim/heartbeat/complete/status call rather than by a timer
+// goroutine, so tests drive every failure mode deterministically with
+// an injected clock and an idle coordinator spends nothing.
+
+// WorkCell is one unit of leased work on the wire: the cell's store
+// key, its display label, and its deployment-affinity group (cells
+// sharing a group share a memoized image build, so the queue keeps
+// them in the same batch where possible).
+type WorkCell struct {
+	Key   string `json:"key"`
+	Label string `json:"label"`
+	Group string `json:"group,omitempty"`
+}
+
+// WorkStatus is the coordinator's public state, served on
+// GET /v1/work. All cell counts partition TotalCells.
+type WorkStatus struct {
+	// Study names the enumerated study; Stamp fingerprints its full
+	// cell set, so workers can refuse a coordinator sweeping a
+	// different study (or the same study at different flags).
+	Study string `json:"study"`
+	Stamp string `json:"stamp"`
+	// TotalCells counts the full enumeration; DoneCells the cells
+	// committed (or found committed at recovery); PendingCells the
+	// cells in unleased batches; LeasedCells the cells out on active
+	// leases.
+	TotalCells   int `json:"total_cells"`
+	DoneCells    int `json:"done_cells"`
+	PendingCells int `json:"pending_cells"`
+	LeasedCells  int `json:"leased_cells"`
+	// ActiveLeases counts live leases; ExpiredLeases the leases ever
+	// revoked for silence; Requeues the batches ever returned to the
+	// queue (expiry and failure both count).
+	ActiveLeases  int   `json:"active_leases"`
+	ExpiredLeases int64 `json:"expired_leases"`
+	Requeues      int64 `json:"requeues"`
+	// Done reports sweep completion: every cell committed.
+	Done bool `json:"done"`
+	// HeartbeatMillis is the advertised heartbeat interval.
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// WorkLease is one granted lease: the batch of cells the worker now
+// owns, and the renewal contract (heartbeat within TTL or lose it).
+type WorkLease struct {
+	ID        string
+	Study     string
+	Stamp     string
+	Cells     []WorkCell
+	TTL       time.Duration
+	Heartbeat time.Duration
+}
+
+// workEvents reports what a queue operation's lazy expiry sweep did,
+// so the server can fold it into metrics.
+type workEvents struct {
+	// expired counts leases revoked for silence; requeuedCells the
+	// cells returned to the queue by those revocations.
+	expired       int
+	requeuedCells int
+}
+
+// QueueOptions tunes a WorkQueue.
+type QueueOptions struct {
+	// Study names the sweep (display and stamp verification).
+	Study string
+	// BatchSize caps cells per lease. Default 4.
+	BatchSize int
+	// LeaseTTL is how long a lease survives without a heartbeat.
+	// Default 30s.
+	LeaseTTL time.Duration
+	// Heartbeat is the renewal interval advertised to workers.
+	// Default LeaseTTL/4.
+	Heartbeat time.Duration
+	// Clock supplies the queue's notion of now. Default time.Now —
+	// lease bookkeeping is operational wall time and never reaches
+	// simulated results (cell outcomes are pure functions of the
+	// spec, committed content-addressed).
+	Clock func() time.Time
+	// Committed reports whether a cell key is already durably
+	// committed (success or recorded failure). Consulted at
+	// construction (coordinator restart recovery) and at every
+	// requeue, so committed cells are never re-issued. Nil means
+	// nothing is committed.
+	Committed func(key string) bool
+	// Logf, when non-nil, receives one line per lease lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// workLease is the server-side lease record.
+type workLease struct {
+	id       string
+	worker   string
+	cells    []WorkCell
+	deadline time.Time
+}
+
+// WorkQueue coordinates one sweep across a fleet of workers: it hands
+// out deterministic, deployment-affine cell batches as leases,
+// revokes leases whose workers go silent, and never re-issues a cell
+// the store already holds. Safe for concurrent use.
+type WorkQueue struct {
+	opt   QueueOptions
+	stamp string
+	total int
+
+	mu      sync.Mutex
+	pending [][]WorkCell
+	leases  map[string]*workLease
+	seq     int64
+	done    int
+	expired int64
+	requeue int64
+}
+
+// WorkStamp fingerprints a study enumeration: the study name plus
+// every cell key in sweep order. Coordinator and workers each compute
+// it from their own enumeration; a mismatch means they were invoked
+// with different studies or flags and must not exchange work.
+func WorkStamp(study string, keys []string) string {
+	h := sha256.New()
+	h.Write([]byte(study))
+	h.Write([]byte{0})
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// NewWorkQueue builds the coordinator state for one sweep. The stamp
+// covers the full enumeration; cells already committed (per
+// opt.Committed) are marked done immediately and never issued — a
+// coordinator restarted mid-sweep resumes with exactly the
+// un-committed remainder. Remaining cells are grouped by deployment
+// affinity in first-appearance order and chunked into batches, so the
+// assignment is deterministic for a given enumeration and store
+// state.
+func NewWorkQueue(cells []WorkCell, opt QueueOptions) *WorkQueue {
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 4
+	}
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 30 * time.Second
+	}
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = opt.LeaseTTL / 4
+	}
+	if opt.Clock == nil {
+		//lint:allow wallclock -- lease deadlines are coordinator infrastructure; cell results are content-addressed and never carry wall time
+		opt.Clock = time.Now
+	}
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.Key
+	}
+	q := &WorkQueue{
+		opt:    opt,
+		stamp:  WorkStamp(opt.Study, keys),
+		total:  len(cells),
+		leases: make(map[string]*workLease),
+	}
+	// Recovery: drop committed cells before batching. Group the rest
+	// by deployment affinity, preserving first-appearance order.
+	var todo []WorkCell
+	for _, c := range cells {
+		if opt.Committed != nil && opt.Committed(c.Key) {
+			q.done++
+			continue
+		}
+		todo = append(todo, c)
+	}
+	var order []string
+	groups := make(map[string][]WorkCell)
+	for _, c := range todo {
+		if _, ok := groups[c.Group]; !ok {
+			order = append(order, c.Group)
+		}
+		groups[c.Group] = append(groups[c.Group], c)
+	}
+	for _, g := range order {
+		batch := groups[g]
+		for len(batch) > 0 {
+			n := opt.BatchSize
+			if n > len(batch) {
+				n = len(batch)
+			}
+			q.pending = append(q.pending, batch[:n])
+			batch = batch[n:]
+		}
+	}
+	q.logf("coordinator: %s: %d cells (%d already committed), %d batches of ≤%d, lease ttl %v",
+		opt.Study, q.total, q.done, len(q.pending), opt.BatchSize, opt.LeaseTTL)
+	return q
+}
+
+// Stamp returns the queue's enumeration fingerprint.
+func (q *WorkQueue) Stamp() string { return q.stamp }
+
+func (q *WorkQueue) logf(format string, args ...any) {
+	if q.opt.Logf != nil {
+		q.opt.Logf(format, args...)
+	}
+}
+
+// expire revokes every lease whose deadline has passed, requeueing the
+// cells its worker did not commit. Called under q.mu by every public
+// operation, so silence is detected at the next wire activity — no
+// timer goroutine, and tests drive it with the injected clock.
+func (q *WorkQueue) expire(now time.Time) workEvents {
+	var ev workEvents
+	var overdue []string
+	for id, l := range q.leases {
+		// Order-insensitive collection; processed in sorted order below
+		// so requeue order is deterministic.
+		if l.deadline.Before(now) {
+			overdue = append(overdue, id)
+		}
+	}
+	sort.Strings(overdue)
+	for _, id := range overdue {
+		l := q.leases[id]
+		delete(q.leases, id)
+		remaining := q.dropCommitted(l.cells)
+		ev.expired++
+		q.expired++
+		ev.requeuedCells += len(remaining)
+		if len(remaining) > 0 {
+			// Front of the queue: revoked work is the oldest owed.
+			q.pending = append([][]WorkCell{remaining}, q.pending...)
+			q.requeue++
+		}
+		q.logf("coordinator: lease %s (%s) expired: %d cells committed, %d requeued",
+			l.id, l.worker, len(l.cells)-len(remaining), len(remaining))
+	}
+	return ev
+}
+
+// dropCommitted partitions a revoked or failed batch: committed cells
+// are counted done, the rest are returned for requeueing.
+func (q *WorkQueue) dropCommitted(cells []WorkCell) []WorkCell {
+	var remaining []WorkCell
+	for _, c := range cells {
+		if q.opt.Committed != nil && q.opt.Committed(c.Key) {
+			q.done++
+		} else {
+			remaining = append(remaining, c)
+		}
+	}
+	return remaining
+}
+
+// Claim hands the next batch to a worker as a lease. When no batch is
+// free it returns a nil lease: done=true if every cell is committed
+// (the worker should exit), otherwise wait (retry after the returned
+// interval — an active lease may yet expire and requeue its cells).
+func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, done bool, ev workEvents) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opt.Clock()
+	ev = q.expire(now)
+	if len(q.pending) == 0 {
+		if len(q.leases) == 0 && q.done == q.total {
+			return nil, 0, true, ev
+		}
+		return nil, q.opt.Heartbeat, false, ev
+	}
+	cells := q.pending[0]
+	q.pending = q.pending[1:]
+	q.seq++
+	l := &workLease{
+		id:       fmt.Sprintf("lease-%d", q.seq),
+		worker:   worker,
+		cells:    cells,
+		deadline: now.Add(q.opt.LeaseTTL),
+	}
+	q.leases[l.id] = l
+	q.logf("coordinator: lease %s: %d cells to %s (%s)", l.id, len(cells), worker, cells[0].Label)
+	return &WorkLease{
+		ID:        l.id,
+		Study:     q.opt.Study,
+		Stamp:     q.stamp,
+		Cells:     cells,
+		TTL:       q.opt.LeaseTTL,
+		Heartbeat: q.opt.Heartbeat,
+	}, 0, false, ev
+}
+
+// Heartbeat renews a lease's deadline. ok=false means the lease is
+// gone — expired and requeued, or already completed — and the worker
+// must abandon the batch's remaining cells (its finished commits are
+// durable and harmless either way).
+func (q *WorkQueue) Heartbeat(id string) (ok bool, ev workEvents) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opt.Clock()
+	ev = q.expire(now)
+	l, live := q.leases[id]
+	if !live {
+		return false, ev
+	}
+	l.deadline = now.Add(q.opt.LeaseTTL)
+	return true, ev
+}
+
+// Complete settles a lease. With failed=false every cell in the batch
+// was committed by the worker and is counted done. With failed=true
+// (some cell errored mid-batch) the batch is re-checked against the
+// store: committed cells — including the failing cell's recorded
+// failure — count done, the rest requeue immediately. Since every
+// deterministic failure commits a negative record before the worker
+// reports it, each failed requeue is strictly smaller: poisoned cells
+// cannot loop. ok=false means the lease had already been revoked.
+func (q *WorkQueue) Complete(id string, failed bool) (ok bool, ev workEvents) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opt.Clock()
+	ev = q.expire(now)
+	l, live := q.leases[id]
+	if !live {
+		return false, ev
+	}
+	delete(q.leases, id)
+	if !failed {
+		q.done += len(l.cells)
+		q.logf("coordinator: lease %s (%s) complete: %d cells (%d/%d done)",
+			l.id, l.worker, len(l.cells), q.done, q.total)
+		return true, ev
+	}
+	remaining := q.dropCommitted(l.cells)
+	ev.requeuedCells += len(remaining)
+	if len(remaining) > 0 {
+		q.pending = append([][]WorkCell{remaining}, q.pending...)
+		q.requeue++
+	}
+	q.logf("coordinator: lease %s (%s) failed: %d cells committed, %d requeued (%d/%d done)",
+		l.id, l.worker, len(l.cells)-len(remaining), len(remaining), q.done, q.total)
+	return true, ev
+}
+
+// Status snapshots the queue (expiring overdue leases first, so an
+// idle coordinator's status is still truthful).
+func (q *WorkQueue) Status() (WorkStatus, workEvents) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ev := q.expire(q.opt.Clock())
+	pending, leased := 0, 0
+	for _, b := range q.pending {
+		pending += len(b)
+	}
+	for _, l := range q.leases {
+		leased += len(l.cells) // counter accumulation: order-insensitive
+	}
+	return WorkStatus{
+		Study:           q.opt.Study,
+		Stamp:           q.stamp,
+		TotalCells:      q.total,
+		DoneCells:       q.done,
+		PendingCells:    pending,
+		LeasedCells:     leased,
+		ActiveLeases:    len(q.leases),
+		ExpiredLeases:   q.expired,
+		Requeues:        q.requeue,
+		Done:            q.done == q.total && len(q.leases) == 0 && len(q.pending) == 0,
+		HeartbeatMillis: q.opt.Heartbeat.Milliseconds(),
+	}, ev
+}

@@ -53,6 +53,9 @@ const (
 	codeSchemaMismatch = "schema-mismatch"
 	codeNotFound       = "not-found"
 	codeBadRecord      = "bad-record"
+	codeTooLarge       = "record-too-large"
+	codeNoWork         = "no-coordinator"
+	codeLeaseGone      = "lease-gone"
 )
 
 // wireRecord is one cell on the wire — the same schema-stamped shape

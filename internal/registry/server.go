@@ -39,6 +39,18 @@ type ServerOptions struct {
 	// commit within the grace window; the listener closes immediately,
 	// so no new work is admitted.
 	ShutdownGrace time.Duration
+	// Work, when non-nil, turns the server into a sweep coordinator:
+	// the /v1/work lease API hands out this queue's batches. Nil
+	// servers answer work requests with a typed 404.
+	Work *WorkQueue
+	// ReadTimeout/WriteTimeout/IdleTimeout bound each connection so a
+	// stalled peer cannot pin server resources forever. Defaults: 2m
+	// read, 2m write, 5m idle. The read/write bounds comfortably cover
+	// the largest permitted record at LAN throughput; heartbeats are
+	// tiny and re-establish connections freely.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 }
 
 // Server exposes one resultdb.DirStore over the wire protocol. It is
@@ -67,12 +79,25 @@ func NewServer(store *resultdb.DirStore, opt ServerOptions) *Server {
 	if opt.ShutdownGrace <= 0 {
 		opt.ShutdownGrace = 30 * time.Second
 	}
+	if opt.ReadTimeout <= 0 {
+		opt.ReadTimeout = 2 * time.Minute
+	}
+	if opt.WriteTimeout <= 0 {
+		opt.WriteTimeout = 2 * time.Minute
+	}
+	if opt.IdleTimeout <= 0 {
+		opt.IdleTimeout = 5 * time.Minute
+	}
 	s := &Server{store: store, opt: opt, mux: http.NewServeMux(), metrics: telemetry.NewRegistry()}
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/cells/{key}", s.handleGet)
 	s.mux.HandleFunc("PUT /v1/cells/{key}", s.handlePut)
+	s.mux.HandleFunc("GET /v1/work", s.handleWorkStatus)
+	s.mux.HandleFunc("POST /v1/work/claim", s.handleWorkClaim)
+	s.mux.HandleFunc("POST /v1/work/heartbeat", s.handleWorkHeartbeat)
+	s.mux.HandleFunc("POST /v1/work/complete", s.handleWorkComplete)
 	return s
 }
 
@@ -92,6 +117,8 @@ func routeOf(path string) string {
 		return "metrics"
 	case strings.HasPrefix(path, "/v1/cells/"):
 		return "cells"
+	case path == "/v1/work" || strings.HasPrefix(path, "/v1/work/"):
+		return "work"
 	default:
 		return "other"
 	}
@@ -119,8 +146,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer inflight.Add(-1)
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	//lint:allow wallclock -- request latency is operator telemetry; it never reaches records or figures
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
+	//lint:allow wallclock -- request latency is operator telemetry; it never reaches records or figures
 	elapsed := time.Since(start)
 	s.metrics.Counter("registry_requests_total", "Requests by route, method, and status.",
 		telemetry.L("route", route), telemetry.L("method", r.Method),
@@ -249,13 +278,21 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if rejectKey(w, key) {
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxRecordBytes+1))
+	// MaxBytesReader, unlike a bare LimitReader, also stops the
+	// connection from absorbing the rest of an oversized body and asks
+	// the peer to close — one malicious or misbuilt record cannot make
+	// the server buffer without bound.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, wireError{
+				Code:  codeTooLarge,
+				Error: fmt.Sprintf("record exceeds the %d-byte limit", maxRecordBytes),
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, wireError{Code: codeBadRecord, Error: err.Error()})
-		return
-	}
-	if len(body) > maxRecordBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge, wireError{Code: codeBadRecord, Error: "record exceeds size limit"})
 		return
 	}
 	var rec wireRecord
@@ -295,6 +332,20 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// httpServer builds the production http.Server around the handler:
+// connection deadlines keep a stalled or malicious peer from pinning
+// resources forever. Factored out so tests can assert the policy
+// without binding a socket.
+func (s *Server) httpServer() *http.Server {
+	return &http.Server{
+		Handler:           s,
+		ReadTimeout:       s.opt.ReadTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      s.opt.WriteTimeout,
+		IdleTimeout:       s.opt.IdleTimeout,
+	}
+}
+
 // Serve runs the registry on ln until ctx is cancelled, then shuts
 // down gracefully: the listener closes, in-flight requests — PUT
 // commits included — get ShutdownGrace to finish, and only then do
@@ -307,12 +358,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// down too, not wedge waiting for a signal that already happened.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	srv := &http.Server{Handler: s}
+	srv := s.httpServer()
 
 	gcDone := make(chan struct{})
 	if s.opt.GCInterval > 0 && s.opt.GC.Bounded() {
 		go func() {
 			defer close(gcDone)
+			//lint:allow wallclock -- GC cadence is server lifecycle, outside any simulated result
 			t := time.NewTicker(s.opt.GCInterval)
 			defer t.Stop()
 			for {

@@ -1,0 +1,196 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerOptions tunes one coordinated-sweep worker.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs and lease
+	// attribution.
+	Name string
+	// Stamp is this worker's own enumeration fingerprint (WorkStamp
+	// over the study it was invoked with). A lease stamped differently
+	// means coordinator and worker were started with different studies
+	// or flags; the worker refuses rather than simulate cells it would
+	// misattribute.
+	Stamp string
+	// Run computes and commits one cell. It must be idempotent (the
+	// store is content-addressed) and should commit failures as
+	// negative records before returning the error.
+	Run func(WorkCell) error
+	// Parallel bounds concurrent cells within a batch. Default 1.
+	Parallel int
+	// Logf, when non-nil, receives one line per lease event.
+	Logf func(format string, args ...any)
+}
+
+// WorkerReport summarises one worker's run.
+type WorkerReport struct {
+	// Batches counts leases settled (completed or failed); Cells the
+	// cells this worker ran to completion; Failures the cells whose
+	// Run returned an error.
+	Batches  int
+	Cells    int
+	Failures int
+	// LeasesLost counts leases revoked under this worker (missed
+	// heartbeats — a coordinator outage, a long stall). Lost leases
+	// abandon their remaining cells; whatever this worker had already
+	// committed stays durable, and another worker finishes the rest.
+	LeasesLost int
+}
+
+// RunWorker drains a coordinator's work queue: claim a lease, heartbeat
+// it in the background, run its cells, settle it, repeat until the
+// coordinator reports the sweep done. Failure semantics:
+//
+//   - A cell error does not abort the batch — remaining cells still
+//     run, then the lease completes as failed and the coordinator
+//     requeues exactly the cells that never committed.
+//   - A lost lease (heartbeat answered 410, or heartbeats failing on
+//     transport errors past the client's retry budget) abandons the
+//     batch's remaining cells without completing it; the coordinator
+//     re-issues them. Already-committed cells are never recomputed.
+//   - A claim or completion that fails even after retries ends the run
+//     with an error whose message notes that committed work is durable
+//     and the same invocation resumes the sweep.
+func RunWorker(c *Client, opt WorkerOptions) (WorkerReport, error) {
+	if opt.Run == nil {
+		return WorkerReport{}, fmt.Errorf("registry: worker needs a Run callback")
+	}
+	if opt.Parallel <= 0 {
+		opt.Parallel = 1
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var rep WorkerReport
+	for {
+		claim, err := c.ClaimWork(opt.Name)
+		if err != nil {
+			return rep, resumable(fmt.Errorf("claiming work: %w", err))
+		}
+		switch {
+		case claim.Done:
+			logf("worker %s: sweep complete (%d batches, %d cells, %d failures, %d leases lost)",
+				opt.Name, rep.Batches, rep.Cells, rep.Failures, rep.LeasesLost)
+			return rep, nil
+		case claim.Lease == nil:
+			wait := claim.Wait
+			if wait <= 0 {
+				wait = 250 * time.Millisecond
+			}
+			logf("worker %s: all work leased out; retrying in %v", opt.Name, wait)
+			//lint:allow wallclock -- claim pacing while peers hold every lease; no simulated quantity depends on it
+			time.Sleep(wait)
+			continue
+		}
+		lease := claim.Lease
+		if opt.Stamp != "" && lease.Stamp != opt.Stamp {
+			return rep, fmt.Errorf("registry: coordinator is sweeping %s (stamp %s) but this worker enumerated stamp %s — start both with the same study and flags",
+				lease.Study, lease.Stamp, opt.Stamp)
+		}
+		logf("worker %s: lease %s: %d cells", opt.Name, lease.ID, len(lease.Cells))
+		cells, failures, lost := runLease(c, lease, opt, logf)
+		rep.Cells += cells
+		rep.Failures += failures
+		if lost {
+			rep.LeasesLost++
+			logf("worker %s: lease %s lost; abandoning its remaining cells (committed work is kept)", opt.Name, lease.ID)
+			continue
+		}
+		ok, err := c.CompleteWork(lease.ID, failures > 0, completionNote(failures))
+		if err != nil {
+			return rep, resumable(fmt.Errorf("completing lease %s: %w", lease.ID, err))
+		}
+		if !ok {
+			// Expired between the last heartbeat and completion: the
+			// coordinator already requeued whatever we had not committed.
+			rep.LeasesLost++
+			logf("worker %s: lease %s expired before completion", opt.Name, lease.ID)
+			continue
+		}
+		rep.Batches++
+	}
+}
+
+// resumable annotates a fatal worker error with the recovery story.
+func resumable(err error) error {
+	return fmt.Errorf("registry: worker stopping: %w (committed cells are durable; rerun the same command to resume the sweep)", err)
+}
+
+func completionNote(failures int) string {
+	if failures == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d cells failed (negative records committed)", failures)
+}
+
+// runLease heartbeats one lease in the background while its cells run
+// on a bounded pool. Returns the number of cells run, how many failed,
+// and whether the lease was lost mid-batch.
+func runLease(c *Client, lease *WorkLease, opt WorkerOptions, logf func(string, ...any)) (cells, failures int, lost bool) {
+	var gone atomic.Bool
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		interval := lease.Heartbeat
+		if interval <= 0 {
+			interval = time.Second
+		}
+		//lint:allow wallclock -- heartbeat cadence is lease renewal on the real clock, invisible to simulated results
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				alive, err := c.HeartbeatWork(lease.ID)
+				if err != nil {
+					// Transport dead past the retry budget: assume revoked.
+					logf("worker %s: lease %s heartbeat failed: %v", opt.Name, lease.ID, err)
+					gone.Store(true)
+					return
+				}
+				if !alive {
+					gone.Store(true)
+					return
+				}
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	sem := make(chan struct{}, opt.Parallel)
+	var run sync.WaitGroup
+	for _, cell := range lease.Cells {
+		if gone.Load() {
+			break
+		}
+		sem <- struct{}{}
+		run.Add(1)
+		go func(cell WorkCell) {
+			defer run.Done()
+			defer func() { <-sem }()
+			err := opt.Run(cell)
+			mu.Lock()
+			cells++
+			if err != nil {
+				failures++
+				logf("worker %s: cell %s failed: %v", opt.Name, cell.Label, err)
+			}
+			mu.Unlock()
+		}(cell)
+	}
+	run.Wait()
+	close(stop)
+	hb.Wait()
+	return cells, failures, gone.Load()
+}
