@@ -9,13 +9,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_$(git rev-parse HEAD).json
-//	benchjson compare [-threshold 0.10] old.json new.json
+//	benchjson compare [-threshold 0.10] [-floor NS] old.json new.json
 //
-// compare diffs two artifacts benchmark by benchmark and exits
-// non-zero when any shared benchmark's ns/op regressed past the
-// threshold (a fraction: 0.10 = +10%), so the CI bench job can gate
-// on the previous commit's artifact. Benchmarks present in only one
-// artifact are reported but never gate — renames must not fail CI.
+// Repeated runs of the same benchmark (`go test -count N`) fold into
+// one entry holding the minimum ns/op — timing noise on shared
+// runners is strictly additive, so the min is the estimate of the
+// true cost — with a `samples` count recording N. compare diffs two
+// artifacts benchmark by benchmark and exits non-zero when any shared
+// benchmark's ns/op regressed past the threshold (a fraction:
+// 0.10 = +10%) AND by more than the noise floor (-floor, absolute
+// nanoseconds; sub-floor movement on a nanosecond-scale benchmark is
+// scheduler jitter, not a regression), so the CI bench job can gate
+// on a committed baseline. Benchmarks present in only one artifact
+// are reported but never gate — renames must not fail CI.
 package main
 
 import (
@@ -44,6 +50,10 @@ type Benchmark struct {
 	// Metrics holds every additional "value unit" pair the benchmark
 	// reported, keyed by unit (e.g. "sim_s/step", "ns/switch").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Samples counts the runs folded into this entry when the bench
+	// stream repeated the benchmark (`go test -count N`); the entry
+	// keeps the fastest run. Zero or absent means a single run.
+	Samples int `json:"samples,omitempty"`
 }
 
 // Report is the artifact's top-level shape.
@@ -75,6 +85,7 @@ func runCompare(w io.Writer, args []string) (int, error) {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	threshold := fs.Float64("threshold", 0.10, "ns/op regression fraction that fails the comparison")
+	floor := fs.Float64("floor", 0, "absolute ns/op increase below which a regression never gates (noise floor)")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -90,10 +101,13 @@ func runCompare(w io.Writer, args []string) (int, error) {
 		rest = rest[:2]
 	}
 	if len(rest) != 2 {
-		return 0, fmt.Errorf("usage: benchjson compare [-threshold F] old.json new.json")
+		return 0, fmt.Errorf("usage: benchjson compare [-threshold F] [-floor NS] old.json new.json")
 	}
 	if *threshold <= 0 {
 		return 0, fmt.Errorf("-threshold must be positive, got %v", *threshold)
+	}
+	if *floor < 0 {
+		return 0, fmt.Errorf("-floor must be ≥ 0, got %v", *floor)
 	}
 	oldRep, err := loadReport(rest[0])
 	if err != nil {
@@ -103,7 +117,7 @@ func runCompare(w io.Writer, args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return compareReports(w, oldRep, newRep, *threshold), nil
+	return compareReports(w, oldRep, newRep, *threshold, *floor), nil
 }
 
 // loadReport reads one benchjson artifact.
@@ -116,7 +130,35 @@ func loadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	rep.Benchmarks = foldMin(rep.Benchmarks)
 	return &rep, nil
+}
+
+// foldMin collapses repeated runs of one benchmark (`go test -count N`
+// emits one result line each) into its fastest observation. Timing
+// noise on a shared runner only ever adds time, so the min-of-N is the
+// estimate of the true cost; Samples records how many runs folded.
+func foldMin(list []Benchmark) []Benchmark {
+	idx := make(map[string]int, len(list))
+	out := make([]Benchmark, 0, len(list))
+	for _, b := range list {
+		key := benchKey(b)
+		i, seen := idx[key]
+		if !seen {
+			idx[key] = len(out)
+			out = append(out, b)
+			continue
+		}
+		samples := out[i].Samples
+		if samples == 0 {
+			samples = 1
+		}
+		if b.NsPerOp < out[i].NsPerOp {
+			out[i] = b
+		}
+		out[i].Samples = samples + 1
+	}
+	return out
 }
 
 // benchKey identifies a benchmark within one artifact.
@@ -137,11 +179,11 @@ func strippedKey(b Benchmark) string {
 }
 
 // compareReports diffs shared benchmarks on ns/op and returns how
-// many regressed past the threshold. Every shared benchmark is
-// listed, worst first, so CI logs show the whole movement, not only
-// the failures; new-only and vanished benchmarks are counted but
-// never gate.
-func compareReports(w io.Writer, oldRep, newRep *Report, threshold float64) int {
+// many regressed past the threshold by more than floor absolute
+// nanoseconds. Every shared benchmark is listed, worst first, so CI
+// logs show the whole movement, not only the failures; new-only and
+// vanished benchmarks are counted but never gate.
+func compareReports(w io.Writer, oldRep, newRep *Report, threshold, floor float64) int {
 	// Exact-name matches first; a stripped-suffix fallback bridges
 	// baselines from runners with different core counts ("-4" vs
 	// "-8") without ever conflating distinct benchmarks — a stripped
@@ -183,7 +225,8 @@ func compareReports(w io.Writer, oldRep, newRep *Report, threshold float64) int 
 			continue
 		}
 		delta := b.NsPerOp/o.NsPerOp - 1
-		rows = append(rows, row{b: b, oldNs: o.NsPerOp, delta: delta, regressed: delta > threshold})
+		rows = append(rows, row{b: b, oldNs: o.NsPerOp, delta: delta,
+			regressed: delta > threshold && b.NsPerOp-o.NsPerOp > floor})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].delta > rows[j].delta })
 
@@ -200,8 +243,13 @@ func compareReports(w io.Writer, oldRep, newRep *Report, threshold float64) int 
 	if len(rows) == 0 && len(oldRep.Benchmarks) > 0 && len(newRep.Benchmarks) > 0 {
 		fmt.Fprintf(w, "warning: no shared benchmarks between the artifacts — the comparison checked nothing\n")
 	}
-	fmt.Fprintf(w, "%d of %d shared benchmarks regressed past +%.1f%% (%d added, %d vanished)\n",
-		regressed, len(rows), threshold*100, added, len(olds))
+	if floor > 0 {
+		fmt.Fprintf(w, "%d of %d shared benchmarks regressed past +%.1f%% and the %.0f ns floor (%d added, %d vanished)\n",
+			regressed, len(rows), threshold*100, floor, added, len(olds))
+	} else {
+		fmt.Fprintf(w, "%d of %d shared benchmarks regressed past +%.1f%% (%d added, %d vanished)\n",
+			regressed, len(rows), threshold*100, added, len(olds))
+	}
 	return regressed
 }
 
@@ -243,6 +291,7 @@ func parse(r io.Reader) (*Report, error) {
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
+	rep.Benchmarks = foldMin(rep.Benchmarks)
 	return rep, sc.Err()
 }
 

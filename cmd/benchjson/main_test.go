@@ -217,3 +217,87 @@ func TestCompareExactNameBeatsStripping(t *testing.T) {
 		t.Fatalf("digit-suffixed names conflated:\n%s", out.String())
 	}
 }
+
+// TestFoldMinOfN: `go test -count N` repeats each benchmark line; the
+// artifact keeps one entry per benchmark holding the fastest run, with
+// a sample count, so a committed baseline is a min-of-N measurement.
+func TestFoldMinOfN(t *testing.T) {
+	stream := `pkg: repro/internal/vtime
+BenchmarkPingPongSync-8  100  441.0 ns/op  220.5 ns/switch
+BenchmarkPingPongSync-8  100  350.0 ns/op  175.0 ns/switch
+BenchmarkPingPongSync-8  100  512.0 ns/op  256.0 ns/switch
+BenchmarkSyncFastPath-8  100  20.0 ns/op
+`
+	var sb strings.Builder
+	if err := run(strings.NewReader(stream), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("folded to %d entries, want 2:\n%s", len(rep.Benchmarks), sb.String())
+	}
+	pp := rep.Benchmarks[0]
+	if pp.NsPerOp != 350.0 || pp.Samples != 3 {
+		t.Fatalf("min-of-3 fold kept %+v", pp)
+	}
+	if pp.Metrics["ns/switch"] != 175.0 {
+		t.Fatalf("fold must keep the fastest run's metrics: %+v", pp.Metrics)
+	}
+	if fast := rep.Benchmarks[1]; fast.Samples != 0 {
+		t.Fatalf("single run grew a sample count: %+v", fast)
+	}
+
+	// loadReport folds too, so a hand-concatenated artifact still
+	// compares as min-of-N.
+	path := filepath.Join(t.TempDir(), "dup.json")
+	dup := &Report{Benchmarks: []Benchmark{
+		bench("p", "B-8", 300),
+		bench("p", "B-8", 100),
+		bench("p", "B-8", 200),
+	}}
+	data, err := json.Marshal(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 100 || got.Benchmarks[0].Samples != 3 {
+		t.Fatalf("loadReport fold = %+v", got.Benchmarks)
+	}
+}
+
+// TestCompareNoiseFloor: a relative regression on a nanosecond-scale
+// benchmark stays below the absolute floor and must not gate, while
+// the same relative movement above the floor still does.
+func TestCompareNoiseFloor(t *testing.T) {
+	oldPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkTiny-8", 20),       // +50% is 10 ns: jitter
+		bench("p", "BenchmarkBig-8", 1_000_000), // +50% is 500 µs: real
+	}})
+	newPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkTiny-8", 30),
+		bench("p", "BenchmarkBig-8", 1_500_000),
+	}})
+	var out strings.Builder
+	regressed, err := runCompare(&out, []string{"-threshold", "0.25", "-floor", "1000", oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Fatalf("want only the big benchmark to gate, got %d:\n%s", regressed, out.String())
+	}
+	if !strings.Contains(out.String(), "1000 ns floor") {
+		t.Fatalf("summary does not state the floor:\n%s", out.String())
+	}
+	if _, err := runCompare(io.Discard, []string{"-floor", "-1", oldPath, newPath}); err == nil {
+		t.Error("negative -floor accepted")
+	}
+}

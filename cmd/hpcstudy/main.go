@@ -7,6 +7,7 @@
 //	hpcstudy run [-list] [flags] <spec.json>
 //	hpcstudy validate <spec.json>
 //	hpcstudy serve -cache-dir DIR -listen ADDR [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]
+//	hpcstudy analyze -trace DIR [-o OUTDIR] [-diff "A=B"] [-top N] [-csv]
 //	hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]
 //	hpcstudy help [verb]
 //
@@ -61,8 +62,15 @@
 // virtual time — kernel scheduling, point-to-point messages, and
 // collective phases — loadable in chrome://tracing or Perfetto.
 // Traces are deterministic and purely observational: figure bytes are
-// identical with or without them. -progress streams cells-done/rate/
-// ETA lines to stderr as a sweep runs. The registry server exposes
+// identical with or without them. A traced run also writes one
+// attribution profile per cell; the analyze verb turns those into
+// per-rank time-attribution tables (compute vs point-to-point,
+// collective, and resource waits — summing exactly to each rank's
+// virtual time), critical-path reports whose length equals the cell
+// makespan, folded stacks for flamegraph tools, and -diff "A=B"
+// comparisons attributing the makespan delta between two cells to
+// specific phases. -progress streams cells-done/rate/ETA lines to
+// stderr as a sweep runs. The registry server exposes
 // its own metrics (request counts and latencies, store hits/misses,
 // GC evictions) on GET /v1/metrics in Prometheus text format, and
 // serve -pprof ADDR opens an opt-in net/http/pprof listener. See the
@@ -115,6 +123,9 @@ type cliConfig struct {
 	traceDir   string // write per-cell Chrome Trace JSON here
 	progress   bool   // report sweep progress to stderr
 	pprofAddr  string // serve: opt-in net/http/pprof address
+	analyzeOut string // analyze: write the artifact tree here
+	diffSpec   string // analyze: "A=B" label substrings to compare
+	top        int    // analyze: longest path segments to list
 
 	// Coordinated sweeps (serve -sweep hands out leases on /v1/work;
 	// the sweep verb pulls them).
@@ -133,6 +144,7 @@ var verbSummaries = [][2]string{
 	{"merge <study|spec>", "assemble output purely from the result store"},
 	{"serve", "expose a -cache-dir store as a result registry over HTTP"},
 	{"sweep <study|spec>", "run a worker pulling leased cell batches from a coordinator (serve -sweep)"},
+	{"analyze", "attribute a traced run's virtual time: per-rank tables, critical path, A-vs-B diff"},
 	{"gc", "evict store records by total size and/or last access"},
 	{"help [verb]", "print this summary, or one verb's flags"},
 }
@@ -146,7 +158,8 @@ var verbFlags = map[string][]string{
 	"merge":    {"quick", "csv", "v", "parallel", "progress", "cache-dir", "cache-url"},
 	"validate": {},
 	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age", "pprof", "sweep", "lease-ttl", "lease-batch", "quick"},
-	"sweep":    {"coordinator", "worker", "quick", "v", "parallel", "cache-dir", "trace"},
+	"sweep":    {"coordinator", "worker", "quick", "v", "parallel", "cache-dir", "trace", "progress"},
+	"analyze":  {"trace", "o", "diff", "top", "csv"},
 	"gc":       {"cache-dir", "max-bytes", "max-age"},
 }
 
@@ -162,6 +175,7 @@ var verbSynopses = map[string]string{
 	"merge":    "hpcstudy merge [flags] <study|spec.json>",
 	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-sweep STUDY -lease-ttl DUR -lease-batch N] [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]",
 	"sweep":    "hpcstudy sweep -coordinator URL [-worker NAME] [flags] <fig1|fig2|spec.json>",
+	"analyze":  "hpcstudy analyze -trace DIR [-o OUTDIR] [-diff \"A=B\"] [-top N] [-csv]",
 	"gc":       "hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]",
 }
 
@@ -230,6 +244,9 @@ func init() {
 	flag.IntVar(&cliFlags.leaseBatch, "lease-batch", 4, "serve: cells per leased batch")
 	flag.StringVar(&cliFlags.coordinator, "coordinator", "", "sweep: coordinator registry URL (hpcstudy serve -sweep)")
 	flag.StringVar(&cliFlags.workerName, "worker", "", "sweep: worker name in coordinator logs (default host:pid)")
+	flag.StringVar(&cliFlags.analyzeOut, "o", "", "analyze: write summary/CSV/critical-path/folded artifacts into this directory")
+	flag.StringVar(&cliFlags.diffSpec, "diff", "", "analyze: compare two cells (\"A=B\", label substrings) and attribute the makespan delta")
+	flag.IntVar(&cliFlags.top, "top", 10, "analyze: longest critical-path segments to list (0 = all)")
 }
 
 func main() {
@@ -239,7 +256,7 @@ func main() {
 	verb := ""
 	if len(args) > 0 {
 		switch args[0] {
-		case "serve", "gc", "merge", "run", "validate", "sweep", "help":
+		case "serve", "gc", "merge", "run", "validate", "sweep", "analyze", "help":
 			verb, args = args[0], args[1:]
 		}
 	}
@@ -249,7 +266,7 @@ func main() {
 	rest := flag.Args()
 	if verb == "" && len(rest) > 0 {
 		switch rest[0] {
-		case "merge", "run", "validate", "sweep", "help":
+		case "merge", "run", "validate", "sweep", "analyze", "help":
 			verb, rest = rest[0], rest[1:]
 		}
 	}
@@ -292,6 +309,12 @@ func main() {
 			os.Exit(2)
 		}
 		err = runSweep(os.Stdout, rest[0], cfg)
+	case "analyze":
+		if len(rest) != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = runAnalyze(os.Stdout, cfg)
 	default:
 		if len(rest) != 1 {
 			flag.Usage()

@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	containerhpc "repro"
 )
@@ -173,18 +175,69 @@ func runSweep(w io.Writer, which string, cfg cliConfig) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(w, format+"\n", args...)
 	}
+	// Per-cell accounting shared by two consumers: -progress (the same
+	// stderr rate/ETA lines the local sweep path prints) and the
+	// heartbeat progress summaries the coordinator aggregates onto
+	// GET /v1/status. RunOne reports no events itself, so the worker
+	// counts its own completions against the study's full cell count;
+	// the cached split is reconstructed from the engine's hit counters
+	// (one event consumes at most one hit, so the aggregate split stays
+	// right even when parallel cells finish together).
+	var prog *containerhpc.Progress
+	if cfg.progress {
+		prog = containerhpc.NewProgress(os.Stderr)
+	}
+	var progMu sync.Mutex
+	var progDone atomic.Int64
+	var progHits int64
+	var cellsFailed int
+	var virtualSec, commSec float64
 	rep, err := containerhpc.RunWorker(client, containerhpc.WorkerOptions{
 		Name:     worker,
 		Stamp:    stamp,
 		Parallel: par,
 		Logf:     logf,
+		Progress: func() containerhpc.WorkerProgress {
+			progMu.Lock()
+			defer progMu.Unlock()
+			return containerhpc.WorkerProgress{
+				Cells:          int(progDone.Load()),
+				Failures:       cellsFailed,
+				Simulated:      stats.Computed.Load(),
+				Replayed:       stats.Hits.Load() + stats.NegHits.Load(),
+				VirtualSeconds: virtualSec,
+				CommSeconds:    commSec,
+			}
+		},
 		Run: func(wc containerhpc.WorkCell) error {
 			sp, ok := byKey[wc.Key]
 			if !ok {
 				return fmt.Errorf("lease names cell %s (%s) outside this worker's enumeration", wc.Key, wc.Label)
 			}
-			_, err := eng.RunOne(sp)
-			return err
+			res, err := eng.RunOne(sp)
+			if err != nil {
+				progMu.Lock()
+				cellsFailed++
+				progMu.Unlock()
+				return err
+			}
+			progMu.Lock()
+			for _, end := range res.Exec.MPI.RankEnd {
+				virtualSec += float64(end)
+			}
+			commSec += float64(res.Exec.MPI.AvgCommTime) * float64(len(res.Exec.MPI.RankEnd))
+			hits := stats.Hits.Load() + stats.NegHits.Load()
+			cached := hits > progHits
+			if cached {
+				progHits++
+			}
+			progMu.Unlock()
+			if prog != nil {
+				prog.Event(int(progDone.Add(1)), len(byKey), cached)
+			} else {
+				progDone.Add(1)
+			}
+			return nil
 		},
 	})
 	if err != nil {

@@ -42,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mesh"
 	"repro/internal/mpi"
+	"repro/internal/profile"
 	"repro/internal/registry"
 	"repro/internal/resultdb"
 	"repro/internal/scenario"
@@ -154,6 +155,15 @@ type (
 	WorkQueueOptions = registry.QueueOptions
 	// WorkStatus is the coordinator's progress snapshot (GET /v1/work).
 	WorkStatus = registry.WorkStatus
+	// WorkerProgress is a worker's cumulative progress/attribution
+	// summary, reported on lease heartbeats and aggregated by the
+	// coordinator onto GET /v1/status.
+	WorkerProgress = registry.WorkerProgress
+	// WorkerStatus is the coordinator's last knowledge of one worker.
+	WorkerStatus = registry.WorkerStatus
+	// FleetStatus is the whole-deployment snapshot served on
+	// GET /v1/status (and rendered as the HTML status page on /).
+	FleetStatus = registry.FleetStatus
 	// WorkerOptions configures one coordinated-sweep worker;
 	// WorkerReport summarises its run (batches, cells, leases lost).
 	WorkerOptions = registry.WorkerOptions
@@ -176,6 +186,20 @@ type (
 	Progress = telemetry.Progress
 	// ProgressEvent reports one produced cell during a sweep.
 	ProgressEvent = experiments.ProgressEvent
+	// CellProfile is one traced cell's time-attribution artifact
+	// (per-rank breakdowns, collective phases, folded stacks, critical
+	// path), written beside its trace by Options.TraceDir and read back
+	// by `hpcstudy analyze`.
+	CellProfile = profile.CellProfile
+	// ProfileBreakdown splits virtual time into compute and the three
+	// wait categories; the categories sum exactly to Total.
+	ProfileBreakdown = profile.Breakdown
+	// ProfilePath is a cell's critical path through the happens-before
+	// graph; its segments tile [0, makespan] exactly.
+	ProfilePath = profile.PathReport
+	// ProfileDiff attributes the makespan delta between two cells to
+	// attribution categories and named collective phases.
+	ProfileDiff = profile.DiffReport
 )
 
 // RankBudget bounds the total simulated ranks concurrently in flight;
@@ -221,6 +245,29 @@ func NewCellTrace(label string, maxEvents int) *CellTrace {
 
 // NewProgress creates a sweep progress reporter writing to w.
 func NewProgress(w io.Writer) *Progress { return telemetry.NewProgress(w) }
+
+// ReadProfiles loads every <key>.profile.json a traced run wrote into
+// dir, sorted by cell label for deterministic reports.
+func ReadProfiles(dir string) ([]*CellProfile, error) { return profile.ReadDir(dir) }
+
+// ReadProfile loads one attribution profile by path.
+func ReadProfile(path string) (*CellProfile, error) { return profile.ReadFile(path) }
+
+// DiffProfiles attributes the makespan delta between two cells (B − A)
+// to attribution categories and collective phases.
+func DiffProfiles(a, b *CellProfile) *ProfileDiff { return profile.Diff(a, b) }
+
+// Profile renderers behind `hpcstudy analyze`: attribution tables,
+// CSV, critical-path text, and folded ("flamegraph") stacks. All are
+// pure functions of the profiles, so outputs are byte-deterministic.
+func RenderProfileSummary(w io.Writer, ps []*CellProfile)    { profile.Summary(w, ps) }
+func RenderProfileRanks(w io.Writer, p *CellProfile)         { profile.RankTable(w, p) }
+func RenderProfilePhases(w io.Writer, p *CellProfile)        { profile.PhaseTable(w, p) }
+func RenderProfilePath(w io.Writer, p *CellProfile, top int) { profile.PathText(w, p, top) }
+func RenderProfileDiff(w io.Writer, d *ProfileDiff)          { profile.DiffText(w, d) }
+func ProfileAttributionCSV(w io.Writer, ps []*CellProfile)   { profile.AttributionCSV(w, ps) }
+func ProfilePhasesCSV(w io.Writer, ps []*CellProfile)        { profile.PhasesCSV(w, ps) }
+func ProfileFoldedText(w io.Writer, p *CellProfile)          { profile.FoldedText(w, p) }
 
 // RecordStudy folds one study's observability delta into a metrics
 // registry; RenderStudy prints the classic -v lines back from it.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/profile"
 	"repro/internal/resultdb"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
@@ -619,17 +620,24 @@ func (s *Sweep) cellFor(sp CellSpec) (core.Cell, error) {
 
 // runSpec executes one cell: memoized image build, then the
 // measurement. With tracing enabled, a CellTrace taps the execution
-// and is exported keyed by the cell's fingerprint; a trace that cannot
-// be written fails the cell loudly rather than silently losing the
-// artifact the operator asked for.
+// and is exported keyed by the cell's fingerprint, together with the
+// cell's time-attribution profile (<key>.profile.json, consumed by
+// `hpcstudy analyze`); an artifact that cannot be written fails the
+// cell loudly rather than silently losing what the operator asked for.
 func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
 	cell, err := s.cellFor(sp)
 	if err != nil {
 		return core.Result{}, err
 	}
 	var tr *telemetry.CellTrace
+	var rec *profile.Recorder
 	if s.traceDir != "" {
 		tr = telemetry.NewCellTrace(sp.Label, s.traceEvents)
+		// The recorder consumes the unbounded forwarded stream, so
+		// attribution stays exact even when the trace ring drops old
+		// events.
+		rec = profile.NewRecorder()
+		tr.Forward(rec)
 		cell.Observer = tr
 		cell.KernelTracer = tr
 	}
@@ -645,6 +653,13 @@ func (s *Sweep) runSpec(sp CellSpec) (core.Result, error) {
 			return core.Result{}, err
 		}
 		if err := tr.WriteFile(s.traceDir, key); err != nil {
+			return core.Result{}, err
+		}
+		prof, err := rec.Profile(sp.Label, key, res.Exec.MPI.RankEnd)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if err := prof.WriteFile(s.traceDir); err != nil {
 			return core.Result{}, err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -43,8 +44,9 @@ func readTraces(t *testing.T, dir string) map[string][]byte {
 }
 
 // TestTraceDirPerCellDeterministic is the tracer's contract: one valid
-// Chrome Trace JSON per simulated cell, byte-identical across runs,
-// with the figure itself unchanged by tracing.
+// Chrome Trace JSON plus one attribution profile per simulated cell,
+// byte-identical across runs, with the figure itself unchanged by
+// tracing.
 func TestTraceDirPerCellDeterministic(t *testing.T) {
 	dir1, dir2 := t.TempDir(), t.TempDir()
 	res1, err := Fig2(fig2TraceOpt(dir1))
@@ -72,34 +74,50 @@ func TestTraceDirPerCellDeterministic(t *testing.T) {
 	}
 
 	t1, t2 := readTraces(t, dir1), readTraces(t, dir2)
-	// Fig2 at 2 node points: 3 build-technique variants × 2 points.
-	if len(t1) != 6 {
+	// Fig2 at 2 node points: 3 build-technique variants × 2 points,
+	// each writing a trace and an attribution profile.
+	if len(t1) != 12 {
 		names := make([]string, 0, len(t1))
 		for n := range t1 { //lint:allow maporder -- sorted below for the error message
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		t.Fatalf("run 1 wrote %d traces, want 6: %v", len(t1), names)
+		t.Fatalf("run 1 wrote %d artifacts, want 12: %v", len(t1), names)
 	}
 	if len(t2) != len(t1) {
-		t.Fatalf("runs wrote different trace counts: %d vs %d", len(t1), len(t2))
+		t.Fatalf("runs wrote different artifact counts: %d vs %d", len(t1), len(t2))
 	}
+	traces, profiles := 0, 0
 	for name, data := range t1 { //lint:allow maporder -- only compares per-name, no ordered output
-		if !resultdb.ValidKey(name[:len(name)-len(".trace.json")]) {
-			t.Fatalf("trace name %q is not <fingerprint>.trace.json", name)
-		}
 		if !bytes.Equal(data, t2[name]) {
-			t.Fatalf("trace %s differs between runs", name)
+			t.Fatalf("artifact %s differs between runs", name)
 		}
-		var doc struct {
-			TraceEvents []json.RawMessage `json:"traceEvents"`
+		switch {
+		case strings.HasSuffix(name, ".trace.json"):
+			traces++
+			if !resultdb.ValidKey(strings.TrimSuffix(name, ".trace.json")) {
+				t.Fatalf("trace name %q is not <fingerprint>.trace.json", name)
+			}
+			var doc struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Fatalf("trace %s is not valid JSON: %v", name, err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatalf("trace %s is empty", name)
+			}
+		case strings.HasSuffix(name, ".profile.json"):
+			profiles++
+			if !resultdb.ValidKey(strings.TrimSuffix(name, ".profile.json")) {
+				t.Fatalf("profile name %q is not <fingerprint>.profile.json", name)
+			}
+		default:
+			t.Fatalf("unexpected artifact %q", name)
 		}
-		if err := json.Unmarshal(data, &doc); err != nil {
-			t.Fatalf("trace %s is not valid JSON: %v", name, err)
-		}
-		if len(doc.TraceEvents) == 0 {
-			t.Fatalf("trace %s is empty", name)
-		}
+	}
+	if traces != 6 || profiles != 6 {
+		t.Fatalf("wrote %d traces and %d profiles, want 6 each", traces, profiles)
 	}
 	_ = res2
 }
@@ -130,6 +148,36 @@ func TestTraceDirSkipsRestoredCells(t *testing.T) {
 	}
 	if traces := readTraces(t, warmDir); len(traces) != 0 {
 		t.Fatalf("warm run wrote %d traces, want 0", len(traces))
+	}
+}
+
+// TestTraceArtifactsIndependentOfStore: the traces and profiles a cold
+// traced run writes are byte-identical whether or not a store is
+// attached — attribution is a pure function of the simulation, so
+// analyze output cannot depend on cache state.
+func TestTraceArtifactsIndependentOfStore(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	storedDir, plainDir := t.TempDir(), t.TempDir()
+	stored := fig2TraceOpt(storedDir)
+	stored.Store = store
+	if _, err := Fig2(stored); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig2(fig2TraceOpt(plainDir)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := readTraces(t, storedDir), readTraces(t, plainDir)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("artifact counts differ: %d with store, %d without", len(a), len(b))
+	}
+	for name, data := range a { //lint:allow maporder -- per-name comparison, no ordered output
+		if !bytes.Equal(data, b[name]) {
+			t.Fatalf("artifact %s depends on store state", name)
+		}
 	}
 }
 

@@ -87,6 +87,9 @@ func DefaultConfig() *Config {
 		// simulated results. The chaostest subpackage (exact match only)
 		// stays out: fault injection is wall time by design.
 		"repro/internal/registry",
+		// profile attributes virtual time from kernel trace events; any
+		// wall-clock read there would corrupt the attribution.
+		"repro/internal/profile",
 	}
 	return &Config{
 		Module:    "repro",
@@ -102,6 +105,7 @@ func DefaultConfig() *Config {
 			"repro/internal/metrics",
 			"repro/internal/telemetry",
 			"repro/internal/trace",
+			"repro/internal/profile",
 			"repro/cmd/...",
 		},
 		RandSource: []string{"repro/..."},
@@ -126,6 +130,9 @@ func DefaultConfig() *Config {
 			"repro/internal/registry.wireClaim",
 			"repro/internal/registry.wireLeaseRequest",
 			"repro/internal/registry.WorkStatus",
+			"repro/internal/registry.FleetStatus",
+			"repro/internal/profile.CellProfile",
+			"repro/internal/profile.DiffReport",
 			"repro/internal/scenario.Spec",
 			"repro/internal/telemetry.chromeTrace",
 		},

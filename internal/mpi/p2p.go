@@ -214,7 +214,7 @@ func (r *Rank) send(dst, tag int, data []float64, count int, req *Request) {
 		if req != nil {
 			req.complete(arrival)
 		} else {
-			r.proc.AdvanceTo(arrival)
+			r.idleTo("wait:send-rdv", arrival)
 		}
 		return
 	}
@@ -373,7 +373,18 @@ func (r *Rank) waitOne(q *Request) {
 		r.proc.Block("wait:" + q.kind)
 	}
 	r.waiting = false
-	r.proc.AdvanceTo(q.completeAt)
+	r.idleTo("wait:"+q.kind, q.completeAt)
+}
+
+// idleTo advances the rank's clock to t, reporting the jump (a wait on
+// an already-completed operation whose finish time lies ahead) to the
+// kernel tracer so profilers can attribute it. Blocked waits are
+// reported by the kernel's own park/wake events instead.
+func (r *Rank) idleTo(tag string, t units.Seconds) {
+	if tr := r.w.cfg.KernelTracer; tr != nil && t > r.proc.Now() {
+		tr.Idle(r.id, tag, r.proc.Now(), t)
+	}
+	r.proc.AdvanceTo(t)
 }
 
 // SendRecv performs a simultaneous exchange with two peers — the

@@ -1,0 +1,243 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// sec builds a units.Seconds from an exactly-representable float.
+func sec(v float64) units.Seconds { return units.Seconds(v) }
+
+// recordSample drives a recorder through a two-rank scenario touching
+// every category: rank 0 stalls on a NIC resource, rank 1 blocks on a
+// recv released by rank 0's send and then waits inside an Allreduce.
+// All times are dyadic rationals, so every boundary is exact.
+func recordSample() *Recorder {
+	r := NewRecorder()
+	// Rank 0: resource stall [3, 4].
+	r.Idle(0, "resource:nic", sec(3), sec(4))
+	// Rank 1: p2p wait [2, 5], released by rank 0 acting at its clock 4.5;
+	// the releasing message completes immediately before the wake.
+	r.Park(1, "wait:irecv", sec(2))
+	r.Message(0, 1, 7, units.ByteSize(8192), "ib", sec(4.5), sec(5))
+	r.Wake(0, 1, sec(5), sec(4.5))
+	// Both ranks run an Allreduce; rank 1 blocks inside it for [6, 7].
+	r.PhaseBegin(0, "Allreduce", sec(5.5))
+	r.PhaseBegin(1, "Allreduce", sec(6))
+	r.Park(1, "wait:irecv", sec(6))
+	r.Wake(0, 1, sec(7), sec(6.5))
+	r.PhaseEnd(1, "Allreduce", sec(7))
+	r.PhaseEnd(0, "Allreduce", sec(7))
+	return r
+}
+
+// TestBreakdownPartitionsTotalExactly is the attribution contract: the
+// four categories sum to each rank's total virtual time as exact
+// float64s, and the cell totals fold the per-rank rows.
+func TestBreakdownPartitionsTotalExactly(t *testing.T) {
+	p, err := recordSample().Profile("cell", "k", []units.Seconds{sec(10), sec(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Breakdown{
+		{Total: 10, Compute: 9, ResourceWait: 1},
+		{Total: 8, Compute: 4, P2PWait: 3, CollectiveWait: 1},
+	}
+	for id, b := range p.PerRank {
+		if sum := b.Compute + b.P2PWait + b.CollectiveWait + b.ResourceWait; sum != b.Total {
+			t.Errorf("rank %d: categories sum to %v, total %v (bits differ by %d)",
+				id, sum, b.Total, math.Float64bits(float64(sum))^math.Float64bits(float64(b.Total)))
+		}
+		if b != want[id] {
+			t.Errorf("rank %d breakdown = %+v, want %+v", id, b, want[id])
+		}
+	}
+	if sum := p.Totals.Compute + p.Totals.P2PWait + p.Totals.CollectiveWait + p.Totals.ResourceWait; sum != p.Totals.Total {
+		t.Errorf("cell categories sum to %v, total %v", sum, p.Totals.Total)
+	}
+	if p.Totals.Total != 18 {
+		t.Errorf("cell total = %v, want 18", p.Totals.Total)
+	}
+	if p.Makespan != 10 {
+		t.Errorf("makespan = %v, want 10", p.Makespan)
+	}
+	wantPhases := []PhaseStat{{Name: "Allreduce", Count: 2, Seconds: 2.5, Wait: 1}}
+	if !reflect.DeepEqual(p.Phases, wantPhases) {
+		t.Errorf("phases = %+v, want %+v", p.Phases, wantPhases)
+	}
+}
+
+// TestCriticalPathTilesMakespan: the path's segments tile [0, makespan]
+// with exactly-shared boundaries, so its composition sums to the
+// makespan; a release edge crosses to the waker with the blocked time
+// as slack.
+func TestCriticalPathTilesMakespan(t *testing.T) {
+	r := NewRecorder()
+	// Rank 1 finishes last and spent [2, 6] blocked on rank 0, which
+	// released it acting at its own clock 5.
+	r.Park(1, "wait:irecv", sec(2))
+	r.Message(0, 1, 9, units.ByteSize(4096), "ib", sec(5), sec(6))
+	r.Wake(0, 1, sec(6), sec(5))
+	p, err := r.Profile("cell", "k", []units.Seconds{sec(8), sec(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := p.Path
+	if n := len(path.Segments); n == 0 {
+		t.Fatal("empty critical path")
+	}
+	if first, last := path.Segments[0], path.Segments[len(path.Segments)-1]; first.From != 0 || last.To != p.Makespan {
+		t.Fatalf("path spans [%v,%v], want [0,%v]", first.From, last.To, p.Makespan)
+	}
+	var length units.Seconds
+	for i, s := range path.Segments {
+		if i > 0 && s.From != path.Segments[i-1].To {
+			t.Fatalf("segment %d starts at %v, previous ended at %v", i, s.From, path.Segments[i-1].To)
+		}
+		length += s.To - s.From
+	}
+	if length != p.Makespan {
+		t.Errorf("path length %v != makespan %v", length, p.Makespan)
+	}
+	if sum := path.Compute + path.Comm + path.Resource; sum != p.Makespan {
+		t.Errorf("path composition sums to %v, want %v", sum, p.Makespan)
+	}
+
+	// Exact shape: rank 0 computes [0,5], its release reaches rank 1 at
+	// 6 (slack = the 4 s rank 1 sat blocked), rank 1 computes [6,10].
+	want := []PathSegment{
+		{Rank: 0, Kind: "compute", From: 0, To: 5},
+		{Rank: 0, Kind: "comm", From: 5, To: 6, Label: "0->1 tag 9 4.00 KiB over ib", Slack: 4},
+		{Rank: 1, Kind: "compute", From: 6, To: 10},
+	}
+	if !reflect.DeepEqual(path.Segments, want) {
+		t.Errorf("segments = %+v, want %+v", path.Segments, want)
+	}
+	if path.Hops != 1 {
+		t.Errorf("hops = %d, want 1", path.Hops)
+	}
+}
+
+// TestRecorderRejectsInconsistentStreams: a broken event stream (or a
+// wait partition that fails to tile the timeline) is an error, never a
+// silently wrong report.
+func TestRecorderRejectsInconsistentStreams(t *testing.T) {
+	ends := []units.Seconds{sec(10), sec(10)}
+	cases := []struct {
+		name string
+		rec  func() *Recorder
+		ends []units.Seconds
+		want string
+	}{
+		{"double park", func() *Recorder {
+			r := NewRecorder()
+			r.Park(0, "wait:irecv", sec(1))
+			r.Park(0, "wait:isend", sec(2))
+			return r
+		}, ends, "parked twice"},
+		{"wake without park", func() *Recorder {
+			r := NewRecorder()
+			r.Wake(1, 0, sec(3), sec(2))
+			return r
+		}, ends, "woken without park"},
+		{"phase close without open", func() *Recorder {
+			r := NewRecorder()
+			r.PhaseEnd(0, "Barrier", sec(4))
+			return r
+		}, ends, "without matching open"},
+		{"still parked at end", func() *Recorder {
+			r := NewRecorder()
+			r.Park(0, "wait:irecv", sec(1))
+			return r
+		}, ends, "still parked"},
+		{"still inside phase at end", func() *Recorder {
+			r := NewRecorder()
+			r.PhaseBegin(0, "Allreduce", sec(1))
+			return r
+		}, ends, "still inside phase"},
+		{"wait past rank end", func() *Recorder {
+			r := NewRecorder()
+			r.Idle(0, "resource:nic", sec(8), sec(12))
+			return r
+		}, ends, "breaks the timeline partition"},
+		{"overlapping waits", func() *Recorder {
+			r := NewRecorder()
+			r.Idle(0, "resource:nic", sec(2), sec(6))
+			r.Idle(0, "resource:fs", sec(4), sec(8))
+			return r
+		}, ends, "breaks the timeline partition"},
+		{"events beyond world size", func() *Recorder {
+			r := NewRecorder()
+			r.Idle(3, "resource:nic", sec(1), sec(2))
+			return r
+		}, ends, "beyond world size"},
+		{"no ranks", NewRecorder, nil, "no ranks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.rec().Profile("cell", "k", tc.ends)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestProfileFileRoundTripDeterministic: WriteFile is byte-identical
+// across writes, and ReadFile/ReadDir restore the exact profile.
+func TestProfileFileRoundTripDeterministic(t *testing.T) {
+	p, err := recordSample().Profile("cell a", "1111111111111111111111111111111111111111111111111111111111111111",
+		[]units.Seconds{sec(10), sec(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dir1, dir2} {
+		if err := p.WriteFile(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name := p.Key + ".profile.json"
+	b1, err := os.ReadFile(filepath.Join(dir1, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(dir2, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two writes of the same profile differ")
+	}
+	back, err := ReadFile(filepath.Join(dir1, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Fatalf("round trip changed the profile:\n%+v\n%+v", back, p)
+	}
+	all, err := ReadDir(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || !reflect.DeepEqual(all[0], p) {
+		t.Fatalf("ReadDir = %+v", all)
+	}
+}
+
+// TestReadDirEmpty: an un-traced directory is a friendly error telling
+// the user to rerun with -trace.
+func TestReadDirEmpty(t *testing.T) {
+	_, err := ReadDir(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "-trace") {
+		t.Fatalf("err = %v, want a hint to rerun with -trace", err)
+	}
+}

@@ -155,7 +155,7 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 			if rerr != nil {
 				lastErr = fmt.Errorf("reading response: %w", rerr)
 			} else {
-				lastErr = fmt.Errorf("HTTP %d", resp.StatusCode)
+				lastErr = statusError(resp.StatusCode, data)
 			}
 		} else {
 			lastErr = err
@@ -177,6 +177,18 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 		//lint:allow wallclock -- retry backoff is transport pacing; cell contents are unaffected by when a request lands
 		time.Sleep(delay)
 	}
+}
+
+// statusError describes a failed response for retry logs and final
+// errors. When the body carries a typed wire error, its code rides
+// along ("HTTP 503 (lease-gone)"), so an operator reading a retry line
+// sees what the server actually objected to, not just the status.
+func statusError(status int, body []byte) error {
+	var we wireError
+	if json.Unmarshal(body, &we) == nil && we.Code != "" {
+		return fmt.Errorf("HTTP %d (%s)", status, we.Code)
+	}
+	return fmt.Errorf("HTTP %d", status)
 }
 
 // jittered scales a backoff delay into [delay/2, delay) by a hash of

@@ -85,7 +85,7 @@ func TestWorkAPIWithoutQueue(t *testing.T) {
 	if _, err := c.FetchWorkStatus(); err == nil || !strings.Contains(err.Error(), "not coordinating") {
 		t.Fatalf("status against a non-coordinator: %v", err)
 	}
-	if _, err := c.HeartbeatWork("lease-1"); err == nil || !strings.Contains(err.Error(), "not coordinating") {
+	if _, err := c.HeartbeatWork("lease-1", nil); err == nil || !strings.Contains(err.Error(), "not coordinating") {
 		t.Fatalf("heartbeat against a non-coordinator: %v", err)
 	}
 }

@@ -69,6 +69,53 @@ type WorkStatus struct {
 	HeartbeatMillis int64 `json:"heartbeat_ms"`
 }
 
+// WorkerProgress is a worker's self-reported progress and attribution
+// summary, carried on heartbeats. All counters are cumulative over the
+// worker's run (a lease carries only its latest snapshot), so the
+// coordinator's fleet view never double-counts across batches.
+type WorkerProgress struct {
+	// Cells counts cells this worker ran to completion; Failures the
+	// ones whose run errored (negative records committed).
+	Cells    int `json:"cells"`
+	Failures int `json:"failures,omitempty"`
+	// Simulated and Replayed split the produced cells by provenance:
+	// simulated fresh vs restored from the store.
+	Simulated int64 `json:"simulated"`
+	Replayed  int64 `json:"replayed,omitempty"`
+	// VirtualSeconds totals the simulated cells' virtual time over all
+	// ranks; CommSeconds the part the MPI engine accounted to
+	// communication — the same split the profiler refines per rank.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+}
+
+// add folds another worker's progress in (fleet totals).
+func (p *WorkerProgress) add(o WorkerProgress) {
+	p.Cells += o.Cells
+	p.Failures += o.Failures
+	p.Simulated += o.Simulated
+	p.Replayed += o.Replayed
+	p.VirtualSeconds += o.VirtualSeconds
+	p.CommSeconds += o.CommSeconds
+}
+
+// WorkerStatus is the coordinator's last knowledge of one worker, as
+// served on GET /v1/status.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// Lease is the worker's active lease id ("" between batches);
+	// LeaseCells its batch size.
+	Lease      string `json:"lease,omitempty"`
+	LeaseCells int    `json:"lease_cells,omitempty"`
+	// Batches counts leases ever granted to this worker.
+	Batches int `json:"batches"`
+	// LastSeenMillis is how long ago the worker last contacted the
+	// coordinator (claim, heartbeat, or completion).
+	LastSeenMillis int64 `json:"last_seen_ms"`
+	// Progress is the worker's latest heartbeat-reported summary.
+	Progress WorkerProgress `json:"progress"`
+}
+
 // WorkLease is one granted lease: the batch of cells the worker now
 // owns, and the renewal contract (heartbeat within TTL or lose it).
 type WorkLease struct {
@@ -136,10 +183,34 @@ type WorkQueue struct {
 	mu      sync.Mutex
 	pending [][]WorkCell
 	leases  map[string]*workLease
+	workers map[string]*workerRec
 	seq     int64
 	done    int
 	expired int64
 	requeue int64
+}
+
+// workerRec is the coordinator's memory of one worker: liveness,
+// active lease, and its latest self-reported progress. Records persist
+// after a worker's lease ends so the fleet view keeps showing what
+// each worker contributed.
+type workerRec struct {
+	lastSeen time.Time
+	lease    string // active lease id, "" between batches
+	batches  int
+	progress WorkerProgress
+}
+
+// touch updates (creating if needed) a worker's liveness record.
+// Callers hold q.mu.
+func (q *WorkQueue) touch(worker string, now time.Time) *workerRec {
+	rec, ok := q.workers[worker]
+	if !ok {
+		rec = &workerRec{}
+		q.workers[worker] = rec
+	}
+	rec.lastSeen = now
+	return rec
 }
 
 // WorkStamp fingerprints a study enumeration: the study name plus
@@ -184,10 +255,11 @@ func NewWorkQueue(cells []WorkCell, opt QueueOptions) *WorkQueue {
 		keys[i] = c.Key
 	}
 	q := &WorkQueue{
-		opt:    opt,
-		stamp:  WorkStamp(opt.Study, keys),
-		total:  len(cells),
-		leases: make(map[string]*workLease),
+		opt:     opt,
+		stamp:   WorkStamp(opt.Study, keys),
+		total:   len(cells),
+		leases:  make(map[string]*workLease),
+		workers: make(map[string]*workerRec),
 	}
 	// Recovery: drop committed cells before batching. Group the rest
 	// by deployment affinity, preserving first-appearance order.
@@ -250,6 +322,9 @@ func (q *WorkQueue) expire(now time.Time) workEvents {
 	for _, id := range overdue {
 		l := q.leases[id]
 		delete(q.leases, id)
+		if rec, ok := q.workers[l.worker]; ok && rec.lease == id {
+			rec.lease = ""
+		}
 		remaining := q.dropCommitted(l.cells)
 		ev.expired++
 		q.expired++
@@ -288,6 +363,7 @@ func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, 
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
 	ev = q.expire(now)
+	q.touch(worker, now)
 	if len(q.pending) == 0 {
 		if len(q.leases) == 0 && q.done == q.total {
 			return nil, 0, true, ev
@@ -304,6 +380,9 @@ func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, 
 		deadline: now.Add(q.opt.LeaseTTL),
 	}
 	q.leases[l.id] = l
+	rec := q.workers[worker]
+	rec.lease = l.id
+	rec.batches++
 	q.logf("coordinator: lease %s: %d cells to %s (%s)", l.id, len(cells), worker, cells[0].Label)
 	return &WorkLease{
 		ID:        l.id,
@@ -315,46 +394,64 @@ func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, 
 	}, 0, false, ev
 }
 
-// Heartbeat renews a lease's deadline. ok=false means the lease is
-// gone — expired and requeued, or already completed — and the worker
-// must abandon the batch's remaining cells (its finished commits are
-// durable and harmless either way).
-func (q *WorkQueue) Heartbeat(id string) (ok bool, ev workEvents) {
+// Heartbeat renews a lease's deadline, folding the worker's
+// self-reported progress (nil is a plain renewal) into its fleet
+// record. ok=false means the lease is gone — expired and requeued, or
+// already completed — and the worker must abandon the batch's
+// remaining cells (its finished commits are durable and harmless
+// either way). The worker name comes back so the server can label
+// per-worker metrics without a second lookup.
+func (q *WorkQueue) Heartbeat(id string, p *WorkerProgress) (worker string, ok bool, ev workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
 	ev = q.expire(now)
 	l, live := q.leases[id]
 	if !live {
-		return false, ev
+		return "", false, ev
 	}
 	l.deadline = now.Add(q.opt.LeaseTTL)
-	return true, ev
+	rec := q.touch(l.worker, now)
+	if p != nil {
+		rec.progress = *p
+	}
+	return l.worker, true, ev
 }
 
-// Complete settles a lease. With failed=false every cell in the batch
-// was committed by the worker and is counted done. With failed=true
-// (some cell errored mid-batch) the batch is re-checked against the
-// store: committed cells — including the failing cell's recorded
-// failure — count done, the rest requeue immediately. Since every
-// deterministic failure commits a negative record before the worker
-// reports it, each failed requeue is strictly smaller: poisoned cells
-// cannot loop. ok=false means the lease had already been revoked.
-func (q *WorkQueue) Complete(id string, failed bool) (ok bool, ev workEvents) {
+// Complete settles a lease, folding the worker's final progress
+// snapshot (nil: none reported) into its fleet record — batches often
+// finish before their first heartbeat fires, and the fleet view must
+// still see the work. With failed=false every cell in the batch was
+// committed by the worker and is counted done. With failed=true (some
+// cell errored mid-batch) the batch is re-checked against the store:
+// committed cells — including the failing cell's recorded failure —
+// count done, the rest requeue immediately. Since every deterministic
+// failure commits a negative record before the worker reports it,
+// each failed requeue is strictly smaller: poisoned cells cannot
+// loop. ok=false means the lease had already been revoked.
+func (q *WorkQueue) Complete(id string, failed bool, p *WorkerProgress) (worker string, ok bool, ev workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
 	ev = q.expire(now)
 	l, live := q.leases[id]
 	if !live {
-		return false, ev
+		return "", false, ev
 	}
 	delete(q.leases, id)
+	worker = l.worker
+	rec := q.touch(l.worker, now)
+	if rec.lease == id {
+		rec.lease = ""
+	}
+	if p != nil {
+		rec.progress = *p
+	}
 	if !failed {
 		q.done += len(l.cells)
 		q.logf("coordinator: lease %s (%s) complete: %d cells (%d/%d done)",
 			l.id, l.worker, len(l.cells), q.done, q.total)
-		return true, ev
+		return worker, true, ev
 	}
 	remaining := q.dropCommitted(l.cells)
 	ev.requeuedCells += len(remaining)
@@ -364,15 +461,23 @@ func (q *WorkQueue) Complete(id string, failed bool) (ok bool, ev workEvents) {
 	}
 	q.logf("coordinator: lease %s (%s) failed: %d cells committed, %d requeued (%d/%d done)",
 		l.id, l.worker, len(l.cells)-len(remaining), len(remaining), q.done, q.total)
-	return true, ev
+	return worker, true, ev
 }
 
 // Status snapshots the queue (expiring overdue leases first, so an
 // idle coordinator's status is still truthful).
 func (q *WorkQueue) Status() (WorkStatus, workEvents) {
+	st, _, ev := q.Fleet()
+	return st, ev
+}
+
+// Fleet snapshots the queue and every worker the coordinator has
+// heard from, workers sorted by name for deterministic rendering.
+func (q *WorkQueue) Fleet() (WorkStatus, []WorkerStatus, workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	ev := q.expire(q.opt.Clock())
+	now := q.opt.Clock()
+	ev := q.expire(now)
 	pending, leased := 0, 0
 	for _, b := range q.pending {
 		pending += len(b)
@@ -380,7 +485,7 @@ func (q *WorkQueue) Status() (WorkStatus, workEvents) {
 	for _, l := range q.leases {
 		leased += len(l.cells) // counter accumulation: order-insensitive
 	}
-	return WorkStatus{
+	st := WorkStatus{
 		Study:           q.opt.Study,
 		Stamp:           q.stamp,
 		TotalCells:      q.total,
@@ -392,5 +497,26 @@ func (q *WorkQueue) Status() (WorkStatus, workEvents) {
 		Requeues:        q.requeue,
 		Done:            q.done == q.total && len(q.leases) == 0 && len(q.pending) == 0,
 		HeartbeatMillis: q.opt.Heartbeat.Milliseconds(),
-	}, ev
+	}
+	names := make([]string, 0, len(q.workers))
+	for name := range q.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	workers := make([]WorkerStatus, 0, len(names))
+	for _, name := range names {
+		rec := q.workers[name]
+		ws := WorkerStatus{
+			Name:           name,
+			Lease:          rec.lease,
+			Batches:        rec.batches,
+			LastSeenMillis: now.Sub(rec.lastSeen).Milliseconds(),
+			Progress:       rec.progress,
+		}
+		if l, ok := q.leases[rec.lease]; ok {
+			ws.LeaseCells = len(l.cells)
+		}
+		workers = append(workers, ws)
+	}
+	return st, workers, ev
 }

@@ -116,7 +116,7 @@ func TestWorkQueueRecovery(t *testing.T) {
 		t.Fatalf("claimed %v, want the uncommitted remainder", got)
 	}
 	committed["c2"], committed["c4"] = true, true
-	if ok, _ := q.Complete(lease.ID, false); !ok {
+	if _, ok, _ := q.Complete(lease.ID, false, nil); !ok {
 		t.Fatal("completion refused")
 	}
 	if st, _ := q.Status(); !st.Done {
@@ -144,7 +144,7 @@ func TestWorkQueueExpiryRequeues(t *testing.T) {
 	// Heartbeats within the TTL keep it alive across any span.
 	for i := 0; i < 5; i++ {
 		clock.Advance(50 * time.Second)
-		if ok, _ := q.Heartbeat(lease.ID); !ok {
+		if _, ok, _ := q.Heartbeat(lease.ID, nil); !ok {
 			t.Fatalf("heartbeat %d refused while renewing in time", i)
 		}
 	}
@@ -160,10 +160,10 @@ func TestWorkQueueExpiryRequeues(t *testing.T) {
 	if got := keysOf(lease2.Cells); fmt.Sprint(got) != fmt.Sprint([]string{"c2"}) {
 		t.Fatalf("w2 claimed %v, want the dead worker's uncommitted remainder first", got)
 	}
-	if ok, _ := q.Heartbeat(lease.ID); ok {
+	if _, ok, _ := q.Heartbeat(lease.ID, nil); ok {
 		t.Fatal("revoked lease still heartbeats")
 	}
-	if ok, _ := q.Complete(lease.ID, false); ok {
+	if _, ok, _ := q.Complete(lease.ID, false, nil); ok {
 		t.Fatal("revoked lease still completes")
 	}
 	st, _ := q.Status()
@@ -185,7 +185,7 @@ func TestWorkQueueFailedCompletion(t *testing.T) {
 	})
 	lease, _, _, _ := q.Claim("w")
 	committed["c1"] = true // success; c2's simulation blew up pre-commit
-	ok, ev := q.Complete(lease.ID, true)
+	_, ok, ev := q.Complete(lease.ID, true, nil)
 	if !ok || ev.requeuedCells != 1 {
 		t.Fatalf("failed completion: ok=%v ev=%+v", ok, ev)
 	}
@@ -196,7 +196,7 @@ func TestWorkQueueFailedCompletion(t *testing.T) {
 	// This time the failure committed a negative record: the batch is
 	// done even though the worker reports failed=true.
 	committed["c2"] = true
-	if ok, _ := q.Complete(lease2.ID, true); !ok {
+	if _, ok, _ := q.Complete(lease2.ID, true, nil); !ok {
 		t.Fatal("completion refused")
 	}
 	if st, _ := q.Status(); !st.Done {
@@ -217,7 +217,7 @@ func TestWorkQueueWaitThenDone(t *testing.T) {
 	if done || wait != 10*time.Second {
 		t.Fatalf("second claim: wait=%v done=%v, want the heartbeat interval", wait, done)
 	}
-	if ok, _ := q.Complete(lease.ID, false); !ok {
+	if _, ok, _ := q.Complete(lease.ID, false, nil); !ok {
 		t.Fatal("completion refused")
 	}
 	if _, _, done, _ := q.Claim("w2"); !done {

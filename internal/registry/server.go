@@ -92,6 +92,8 @@ func NewServer(store *resultdb.DirStore, opt ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /{$}", s.handleStatusPage)
 	s.mux.HandleFunc("GET /v1/cells/{key}", s.handleGet)
 	s.mux.HandleFunc("PUT /v1/cells/{key}", s.handlePut)
 	s.mux.HandleFunc("GET /v1/work", s.handleWorkStatus)
@@ -115,6 +117,8 @@ func routeOf(path string) string {
 		return "manifest"
 	case path == "/v1/metrics":
 		return "metrics"
+	case path == "/v1/status" || path == "/":
+		return "status"
 	case strings.HasPrefix(path, "/v1/cells/"):
 		return "cells"
 	case path == "/v1/work" || strings.HasPrefix(path, "/v1/work/"):

@@ -106,16 +106,21 @@ func (c *Client) leasePost(path string, req wireLeaseRequest) (alive bool, err e
 	}
 }
 
-// HeartbeatWork renews a lease. alive=false: the lease was revoked.
-func (c *Client) HeartbeatWork(leaseID string) (alive bool, err error) {
-	return c.leasePost("/v1/work/heartbeat", wireLeaseRequest{Lease: leaseID})
+// HeartbeatWork renews a lease, optionally reporting the worker's
+// cumulative progress summary (nil sends a plain renewal).
+// alive=false: the lease was revoked.
+func (c *Client) HeartbeatWork(leaseID string, progress *WorkerProgress) (alive bool, err error) {
+	return c.leasePost("/v1/work/heartbeat", wireLeaseRequest{Lease: leaseID, Progress: progress})
 }
 
 // CompleteWork settles a lease; failed marks a batch where some cell
-// errored (the coordinator requeues only what never committed).
-// ok=false: the lease had already been revoked.
-func (c *Client) CompleteWork(leaseID string, failed bool, errMsg string) (ok bool, err error) {
-	return c.leasePost("/v1/work/complete", wireLeaseRequest{Lease: leaseID, Failed: failed, Error: errMsg})
+// errored (the coordinator requeues only what never committed), and
+// progress, when non-nil, delivers the worker's final summary for the
+// batch — fast batches settle before their first heartbeat, and the
+// fleet view must still see the work. ok=false: the lease had already
+// been revoked.
+func (c *Client) CompleteWork(leaseID string, failed bool, errMsg string, progress *WorkerProgress) (ok bool, err error) {
+	return c.leasePost("/v1/work/complete", wireLeaseRequest{Lease: leaseID, Failed: failed, Error: errMsg, Progress: progress})
 }
 
 // FetchWorkStatus reads the coordinator's progress snapshot.

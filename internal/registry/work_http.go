@@ -54,6 +54,10 @@ type wireLeaseRequest struct {
 	// only what never committed.
 	Failed bool   `json:"failed,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Progress, on heartbeats, is the worker's cumulative progress and
+	// attribution summary; the coordinator folds it into the fleet view
+	// served on GET /v1/status.
+	Progress *WorkerProgress `json:"progress,omitempty"`
 }
 
 // requireWork rejects work-API requests on a server with no queue.
@@ -160,7 +164,7 @@ func (s *Server) handleWorkHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	alive, ev := s.opt.Work.Heartbeat(req.Lease)
+	worker, alive, ev := s.opt.Work.Heartbeat(req.Lease, req.Progress)
 	s.noteWorkEvents(ev)
 	result := "ok"
 	if !alive {
@@ -168,6 +172,9 @@ func (s *Server) handleWorkHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Counter("registry_work_heartbeats_total", "Heartbeats by outcome.",
 		telemetry.L("result", result)).Inc()
+	if alive && req.Progress != nil {
+		s.noteWorkerProgress(worker, *req.Progress)
+	}
 	if !alive {
 		writeJSON(w, http.StatusGone, wireError{
 			Code:  codeLeaseGone,
@@ -186,9 +193,12 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	settled, ev := s.opt.Work.Complete(req.Lease, req.Failed)
+	worker, settled, ev := s.opt.Work.Complete(req.Lease, req.Failed, req.Progress)
 	s.noteWorkEvents(ev)
 	defer s.refreshWorkGauges()
+	if settled && req.Progress != nil {
+		s.noteWorkerProgress(worker, *req.Progress)
+	}
 	if !settled {
 		s.noteLease("lost")
 		writeJSON(w, http.StatusGone, wireError{

@@ -26,6 +26,10 @@ type WorkerOptions struct {
 	Parallel int
 	// Logf, when non-nil, receives one line per lease event.
 	Logf func(format string, args ...any)
+	// Progress, when non-nil, is polled at every heartbeat; the
+	// snapshot rides to the coordinator, which serves it on
+	// GET /v1/status. Must be safe to call concurrently with Run.
+	Progress func() WorkerProgress
 }
 
 // WorkerReport summarises one worker's run.
@@ -103,7 +107,12 @@ func RunWorker(c *Client, opt WorkerOptions) (WorkerReport, error) {
 			logf("worker %s: lease %s lost; abandoning its remaining cells (committed work is kept)", opt.Name, lease.ID)
 			continue
 		}
-		ok, err := c.CompleteWork(lease.ID, failures > 0, completionNote(failures))
+		var progress *WorkerProgress
+		if opt.Progress != nil {
+			p := opt.Progress()
+			progress = &p
+		}
+		ok, err := c.CompleteWork(lease.ID, failures > 0, completionNote(failures), progress)
 		if err != nil {
 			return rep, resumable(fmt.Errorf("completing lease %s: %w", lease.ID, err))
 		}
@@ -152,7 +161,12 @@ func runLease(c *Client, lease *WorkLease, opt WorkerOptions, logf func(string, 
 			case <-stop:
 				return
 			case <-t.C:
-				alive, err := c.HeartbeatWork(lease.ID)
+				var progress *WorkerProgress
+				if opt.Progress != nil {
+					p := opt.Progress()
+					progress = &p
+				}
+				alive, err := c.HeartbeatWork(lease.ID, progress)
 				if err != nil {
 					// Transport dead past the retry budget: assume revoked.
 					logf("worker %s: lease %s heartbeat failed: %v", opt.Name, lease.ID, err)

@@ -73,7 +73,11 @@ type (
 		Tag string `json:"tag"`
 	}
 	wakeArgs struct {
-		Woken int `json:"woken"`
+		Woken int     `json:"woken"`
+		AtSrc float64 `json:"atSrc"` // waker's clock (µs) at the wake
+	}
+	idleArgs struct {
+		Tag string `json:"tag"`
 	}
 	flushArgs struct {
 		Batch int `json:"batch"`
@@ -105,7 +109,10 @@ func (e event) chrome() chromeEvent {
 			Args: parkArgs{Tag: e.name}}
 	case evWake:
 		return chromeEvent{Name: "wake", Cat: "kernel", Ph: "i", Ts: usec(e.t0), Tid: e.a,
-			Args: wakeArgs{Woken: e.b}}
+			Args: wakeArgs{Woken: e.b, AtSrc: usec(e.t1)}}
+	case evIdle:
+		return chromeEvent{Name: "idle", Cat: "wait", Ph: "X", Ts: usec(e.t0), Dur: usec(e.t1 - e.t0), Tid: e.a,
+			Args: idleArgs{Tag: e.name}}
 	case evFlush:
 		return chromeEvent{Name: "flush-wakes", Cat: "kernel", Ph: "i", Ts: usec(e.t0), Tid: kernelTid,
 			Args: flushArgs{Batch: e.a}}

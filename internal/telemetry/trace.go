@@ -35,6 +35,7 @@ const (
 	evMessage
 	evPhaseBegin
 	evPhaseEnd
+	evIdle
 )
 
 // event is one recorded occurrence, kept compact so the ring is a flat
@@ -42,10 +43,11 @@ const (
 //
 //	switch:   a=from b=to            t0=now
 //	park:     a=id   name=tag        t0=now
-//	wake:     a=waker b=woken        t0=now
+//	wake:     a=waker b=woken        t0=now t1=wakerNow
 //	flush:    a=batch                t0=now
 //	message:  a=src b=dst c=tag      t0=sent t1=arrived size name=transport
 //	phase:    a=rank name=collective t0=at
+//	idle:     a=id   name=tag        t0=from t1=to
 type event struct {
 	kind    uint8
 	a, b, c int
@@ -76,6 +78,8 @@ type CellTrace struct {
 	// after the run (they are not themselves events).
 	kernel    vtime.Counters
 	hasKernel bool
+	// fwd, when non-nil, receives every event unbounded (see Forward).
+	fwd Handler
 }
 
 // NewCellTrace creates a trace for one cell. maxEvents bounds the ring
@@ -137,24 +141,65 @@ func (t *CellTrace) SetKernel(c vtime.Counters) {
 	t.hasKernel = true
 }
 
+// Handler consumes the full event stream a CellTrace taps: the vtime
+// kernel seam plus the MPI message and collective-phase seams. Unlike
+// the bounded ring, a forwarded Handler sees every event — the seam the
+// profiler's attribution engine (internal/profile) hangs off, whose
+// sums must account for all of a rank's virtual time, not just the
+// most recent ring-full. Handlers run under the same contract as
+// vtime.Tracer: deterministic callback order, no locking needed, no
+// yielding or kernel mutation.
+type Handler interface {
+	vtime.Tracer
+	// Message mirrors mpi.Observer.
+	Message(src, dst, tag int, size units.ByteSize, transport string, sent, arrived units.Seconds)
+	// PhaseBegin and PhaseEnd mirror mpi.PhaseObserver.
+	PhaseBegin(rank int, name string, start units.Seconds)
+	PhaseEnd(rank int, name string, end units.Seconds)
+}
+
+// Forward attaches a Handler receiving every event offered to the
+// trace, before ring bounding. Call it before the run; nil detaches.
+func (t *CellTrace) Forward(h Handler) { t.fwd = h }
+
 // Switch implements vtime.Tracer.
 func (t *CellTrace) Switch(from, to int, now units.Seconds) {
 	t.record(event{kind: evSwitch, a: from, b: to, t0: now})
+	if t.fwd != nil {
+		t.fwd.Switch(from, to, now)
+	}
 }
 
 // Park implements vtime.Tracer.
 func (t *CellTrace) Park(id int, tag string, now units.Seconds) {
 	t.record(event{kind: evPark, a: id, t0: now, name: tag})
+	if t.fwd != nil {
+		t.fwd.Park(id, tag, now)
+	}
 }
 
 // Wake implements vtime.Tracer.
-func (t *CellTrace) Wake(waker, woken int, now units.Seconds) {
-	t.record(event{kind: evWake, a: waker, b: woken, t0: now})
+func (t *CellTrace) Wake(waker, woken int, now, wakerNow units.Seconds) {
+	t.record(event{kind: evWake, a: waker, b: woken, t0: now, t1: wakerNow})
+	if t.fwd != nil {
+		t.fwd.Wake(waker, woken, now, wakerNow)
+	}
+}
+
+// Idle implements vtime.Tracer.
+func (t *CellTrace) Idle(id int, tag string, from, to units.Seconds) {
+	t.record(event{kind: evIdle, a: id, t0: from, t1: to, name: tag})
+	if t.fwd != nil {
+		t.fwd.Idle(id, tag, from, to)
+	}
 }
 
 // FlushWakes implements vtime.Tracer.
 func (t *CellTrace) FlushWakes(k int, now units.Seconds) {
 	t.record(event{kind: evFlush, a: k, t0: now})
+	if t.fwd != nil {
+		t.fwd.FlushWakes(k, now)
+	}
 }
 
 // Message implements mpi.Observer: one completed point-to-point
@@ -163,14 +208,23 @@ func (t *CellTrace) FlushWakes(k int, now units.Seconds) {
 func (t *CellTrace) Message(src, dst, tag int, size units.ByteSize,
 	transport string, sent, arrived units.Seconds) {
 	t.record(event{kind: evMessage, a: src, b: dst, c: tag, t0: sent, t1: arrived, size: size, name: transport})
+	if t.fwd != nil {
+		t.fwd.Message(src, dst, tag, size, transport, sent, arrived)
+	}
 }
 
 // PhaseBegin implements mpi.PhaseObserver.
 func (t *CellTrace) PhaseBegin(rank int, name string, start units.Seconds) {
 	t.record(event{kind: evPhaseBegin, a: rank, t0: start, name: name})
+	if t.fwd != nil {
+		t.fwd.PhaseBegin(rank, name, start)
+	}
 }
 
 // PhaseEnd implements mpi.PhaseObserver.
 func (t *CellTrace) PhaseEnd(rank int, name string, end units.Seconds) {
 	t.record(event{kind: evPhaseEnd, a: rank, t0: end, name: name})
+	if t.fwd != nil {
+		t.fwd.PhaseEnd(rank, name, end)
+	}
 }

@@ -30,8 +30,9 @@ func TestExportGolden(t *testing.T) {
 	tr.Switch(-1, 0, 0)
 	tr.PhaseBegin(0, "barrier", 1e-6)
 	tr.Park(0, "recv", 2e-6)
-	tr.Wake(1, 0, 3e-6)
+	tr.Wake(1, 0, 3e-6, 2.5e-6)
 	tr.Message(1, 0, 7, 4096, "shm", 2e-6, 3.5e-6)
+	tr.Idle(0, "resource:nic-0", 2e-6, 4e-6)
 	tr.PhaseEnd(0, "barrier", 4e-6)
 	tr.FlushWakes(2, 5e-6)
 	tr.SetKernel(vtime.Counters{Switches: 3, Wakes: 1})
@@ -44,12 +45,13 @@ func TestExportGolden(t *testing.T) {
 		`{"name":"switch","cat":"kernel","ph":"i","ts":0,"pid":0,"tid":0,"args":{"from":-1}},` +
 		`{"name":"barrier","cat":"collective","ph":"B","ts":1,"pid":0,"tid":0},` +
 		`{"name":"park","cat":"kernel","ph":"i","ts":2,"pid":0,"tid":0,"args":{"tag":"recv"}},` +
-		`{"name":"wake","cat":"kernel","ph":"i","ts":3,"pid":0,"tid":1,"args":{"woken":0}},` +
+		`{"name":"wake","cat":"kernel","ph":"i","ts":3,"pid":0,"tid":1,"args":{"woken":0,"atSrc":2.5}},` +
 		`{"name":"msg","cat":"mpi","ph":"X","ts":2,"dur":1.5,"pid":0,"tid":0,"args":{"src":1,"dst":0,"tag":7,"bytes":4096,"transport":"shm"}},` +
+		`{"name":"idle","cat":"wait","ph":"X","ts":2,"dur":2,"pid":0,"tid":0,"args":{"tag":"resource:nic-0"}},` +
 		`{"name":"barrier","cat":"collective","ph":"E","ts":4,"pid":0,"tid":0},` +
 		`{"name":"flush-wakes","cat":"kernel","ph":"i","ts":5,"pid":0,"tid":-1,"args":{"batch":2}}],` +
 		`"displayTimeUnit":"ms",` +
-		`"otherData":{"label":"tiny","clock":"virtual","totalEvents":7,"droppedEvents":0,` +
+		`"otherData":{"label":"tiny","clock":"virtual","totalEvents":8,"droppedEvents":0,` +
 		`"kernel":{"switches":3,"syncFast":0,"pingPong":0,"wakes":1,"wakeBatches":0,"heapOps":0}}}` + "\n"
 	if string(data) != want {
 		t.Fatalf("export:\n%s\nwant:\n%s", data, want)

@@ -103,8 +103,17 @@ type Tracer interface {
 	// Park reports proc id blocking on tag at time now.
 	Park(id int, tag string, now units.Seconds)
 	// Wake reports proc waker making proc woken runnable; now is the
-	// woken process's (possibly advanced) clock.
-	Wake(waker, woken int, now units.Seconds)
+	// woken process's (possibly advanced) clock and wakerNow the
+	// waker's clock at the instant of the wake — the causal source
+	// time a profiler follows when walking the happens-before graph
+	// backwards.
+	Wake(waker, woken int, now, wakerNow units.Seconds)
+	// Idle reports proc id's clock jumping from `from` to `to` while
+	// waiting rather than computing — resource contention
+	// (tag "resource:<name>") or an already-completed request whose
+	// completion time lies ahead of the proc's clock (tag "wait:<kind>",
+	// emitted by the MPI layer). Only emitted when to > from.
+	Idle(id int, tag string, from, to units.Seconds)
 	// FlushWakes reports a batched fold of k > 1 pending waiters into
 	// the run queue, observed at virtual time now.
 	FlushWakes(k int, now units.Seconds)
@@ -208,7 +217,7 @@ func (p *Proc) Wake(q *Proc, at units.Seconds) {
 	}
 	s.counters.Wakes++
 	if s.trace != nil {
-		s.trace.Wake(p.ID, q.ID, q.now)
+		s.trace.Wake(p.ID, q.ID, q.now, p.now)
 	}
 }
 
@@ -548,6 +557,9 @@ func (r *Resource) Acquire(p *Proc, hold units.Seconds) {
 	if hold < 0 {
 		panic(fmt.Sprintf("vtime: resource %s acquired by proc %d at %v for negative duration %v",
 			r.Name, p.ID, p.now, hold))
+	}
+	if t := p.sched.trace; t != nil && r.freeAt > p.now {
+		t.Idle(p.ID, "resource:"+r.Name, p.now, r.freeAt)
 	}
 	p.AdvanceTo(r.freeAt)
 	r.freeAt = p.now + hold
