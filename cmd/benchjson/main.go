@@ -9,19 +9,25 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_$(git rev-parse HEAD).json
-//	benchjson compare [-threshold 0.10] [-floor NS] old.json new.json
+//	benchjson compare [-threshold 0.10] [-floor NS] [-cv F] old.json new.json
 //
 // Repeated runs of the same benchmark (`go test -count N`) fold into
 // one entry holding the minimum ns/op — timing noise on shared
 // runners is strictly additive, so the min is the estimate of the
-// true cost — with a `samples` count recording N. compare diffs two
-// artifacts benchmark by benchmark and exits non-zero when any shared
-// benchmark's ns/op regressed past the threshold (a fraction:
-// 0.10 = +10%) AND by more than the noise floor (-floor, absolute
-// nanoseconds; sub-floor movement on a nanosecond-scale benchmark is
-// scheduler jitter, not a regression), so the CI bench job can gate
-// on a committed baseline. Benchmarks present in only one artifact
-// are reported but never gate — renames must not fail CI.
+// true cost — with a `samples` count recording N and benchstat-style
+// variance statistics (mean/median/stddev/CV over the runs) so a
+// later comparison can judge how trustworthy the min is. compare
+// diffs two artifacts benchmark by benchmark and exits non-zero when
+// any shared benchmark's ns/op regressed past the threshold (a
+// fraction: 0.10 = +10%) AND by more than the noise floor (-floor,
+// absolute nanoseconds; sub-floor movement on a nanosecond-scale
+// benchmark is scheduler jitter, not a regression), so the CI bench
+// job can gate on a committed baseline. -cv F additionally flags
+// benchmarks whose recorded coefficient of variation exceeds F as
+// HIGH VARIANCE — advisory only, never gating: it says the gate's
+// threshold may need widening before trusting a pass or a fail.
+// Benchmarks present in only one artifact are reported but never
+// gate — renames must not fail CI.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -54,6 +61,15 @@ type Benchmark struct {
 	// stream repeated the benchmark (`go test -count N`); the entry
 	// keeps the fastest run. Zero or absent means a single run.
 	Samples int `json:"samples,omitempty"`
+	// Variance statistics over the folded ns/op observations, absent
+	// for single runs. MeanNs/MedianNs/StddevNs are in nanoseconds
+	// (stddev is the sample standard deviation, n−1); CV is the
+	// coefficient of variation, stddev/mean — the scale-free noise
+	// measure `compare -cv` warns on.
+	MeanNs   float64 `json:"mean_ns,omitempty"`
+	MedianNs float64 `json:"median_ns,omitempty"`
+	StddevNs float64 `json:"stddev_ns,omitempty"`
+	CV       float64 `json:"cv,omitempty"`
 }
 
 // Report is the artifact's top-level shape.
@@ -86,6 +102,7 @@ func runCompare(w io.Writer, args []string) (int, error) {
 	fs.SetOutput(io.Discard)
 	threshold := fs.Float64("threshold", 0.10, "ns/op regression fraction that fails the comparison")
 	floor := fs.Float64("floor", 0, "absolute ns/op increase below which a regression never gates (noise floor)")
+	cv := fs.Float64("cv", 0, "coefficient-of-variation bound; benchmarks noisier than this are flagged HIGH VARIANCE (advisory, never gates)")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -109,6 +126,9 @@ func runCompare(w io.Writer, args []string) (int, error) {
 	if *floor < 0 {
 		return 0, fmt.Errorf("-floor must be ≥ 0, got %v", *floor)
 	}
+	if *cv < 0 {
+		return 0, fmt.Errorf("-cv must be ≥ 0, got %v", *cv)
+	}
 	oldRep, err := loadReport(rest[0])
 	if err != nil {
 		return 0, err
@@ -117,7 +137,7 @@ func runCompare(w io.Writer, args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return compareReports(w, oldRep, newRep, *threshold, *floor), nil
+	return compareReports(w, oldRep, newRep, *threshold, *floor, *cv), nil
 }
 
 // loadReport reads one benchjson artifact.
@@ -137,32 +157,76 @@ func loadReport(path string) (*Report, error) {
 // foldMin collapses repeated runs of one benchmark (`go test -count N`
 // emits one result line each) into its fastest observation. Timing
 // noise on a shared runner only ever adds time, so the min-of-N is the
-// estimate of the true cost; Samples records how many runs folded.
+// estimate of the true cost; Samples records how many runs folded, and
+// mean/median/stddev/CV over the observations quantify the noise so a
+// comparison can judge whether the min itself is trustworthy.
 func foldMin(list []Benchmark) []Benchmark {
 	idx := make(map[string]int, len(list))
+	obs := make(map[string][]float64, len(list))
 	out := make([]Benchmark, 0, len(list))
 	for _, b := range list {
 		key := benchKey(b)
+		obs[key] = append(obs[key], b.NsPerOp)
 		i, seen := idx[key]
 		if !seen {
 			idx[key] = len(out)
 			out = append(out, b)
 			continue
 		}
-		samples := out[i].Samples
-		if samples == 0 {
-			samples = 1
-		}
 		if b.NsPerOp < out[i].NsPerOp {
 			out[i] = b
 		}
-		out[i].Samples = samples + 1
+	}
+	for i := range out {
+		runs := obs[benchKey(out[i])]
+		if len(runs) < 2 {
+			// A single observation carries whatever Samples/stats the
+			// input already had (re-folding a folded artifact is a no-op).
+			continue
+		}
+		out[i].Samples = len(runs)
+		out[i].MeanNs, out[i].MedianNs, out[i].StddevNs, out[i].CV = runStats(runs)
 	}
 	return out
 }
 
+// runStats summarises the ns/op observations of one benchmark: mean,
+// median, sample standard deviation (n−1), and the coefficient of
+// variation stddev/mean (0 when the mean is not positive).
+func runStats(runs []float64) (mean, median, stddev, cv float64) {
+	sorted := append([]float64(nil), runs...)
+	sort.Float64s(sorted)
+	for _, v := range sorted {
+		mean += v
+	}
+	n := len(sorted)
+	mean /= float64(n)
+	if n%2 == 1 {
+		median = sorted[n/2]
+	} else {
+		median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var ss float64
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	stddev = math.Sqrt(ss / float64(n-1))
+	if mean > 0 {
+		cv = stddev / mean
+	}
+	return mean, median, stddev, cv
+}
+
 // benchKey identifies a benchmark within one artifact.
 func benchKey(b Benchmark) string { return b.Pkg + "\t" + b.Name }
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 // strippedKey drops a trailing "-<digits>" (the GOMAXPROCS suffix)
 // from the key. Used only as a matching fallback: a benchmark's own
@@ -182,8 +246,12 @@ func strippedKey(b Benchmark) string {
 // many regressed past the threshold by more than floor absolute
 // nanoseconds. Every shared benchmark is listed, worst first, so CI
 // logs show the whole movement, not only the failures; new-only and
-// vanished benchmarks are counted but never gate.
-func compareReports(w io.Writer, oldRep, newRep *Report, threshold, floor float64) int {
+// vanished benchmarks are counted but never gate. A positive cvBound
+// additionally flags benchmarks whose recorded coefficient of
+// variation (either side) exceeds it — advisory only, because a noisy
+// benchmark's min-of-N is still its best estimate; the flag says the
+// gate's threshold may need widening, not that the run regressed.
+func compareReports(w io.Writer, oldRep, newRep *Report, threshold, floor, cvBound float64) int {
 	// Exact-name matches first; a stripped-suffix fallback bridges
 	// baselines from runners with different core counts ("-4" vs
 	// "-8") without ever conflating distinct benchmarks — a stripped
@@ -209,6 +277,7 @@ func compareReports(w io.Writer, oldRep, newRep *Report, threshold, floor float6
 		b         Benchmark
 		oldNs     float64
 		delta     float64
+		cv        float64
 		regressed bool
 	}
 	var rows []row
@@ -226,19 +295,28 @@ func compareReports(w io.Writer, oldRep, newRep *Report, threshold, floor float6
 		}
 		delta := b.NsPerOp/o.NsPerOp - 1
 		rows = append(rows, row{b: b, oldNs: o.NsPerOp, delta: delta,
+			cv:        maxFloat(o.CV, b.CV),
 			regressed: delta > threshold && b.NsPerOp-o.NsPerOp > floor})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].delta > rows[j].delta })
 
-	regressed := 0
+	regressed, noisy := 0, 0
 	for _, r := range rows {
 		mark := ""
 		if r.regressed {
 			regressed++
 			mark = fmt.Sprintf("  REGRESSED (> +%.1f%%)", threshold*100)
 		}
+		if cvBound > 0 && r.cv > cvBound {
+			noisy++
+			mark += fmt.Sprintf("  HIGH VARIANCE (cv %.1f%% > %.1f%%)", r.cv*100, cvBound*100)
+		}
 		fmt.Fprintf(w, "%-48s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n",
 			r.b.Name+" ("+r.b.Pkg+")", r.oldNs, r.b.NsPerOp, r.delta*100, mark)
+	}
+	if noisy > 0 {
+		fmt.Fprintf(w, "warning: %d of %d shared benchmarks exceed the %.1f%% CV bound — their deltas are noise-dominated (advisory, does not gate)\n",
+			noisy, len(rows), cvBound*100)
 	}
 	if len(rows) == 0 && len(oldRep.Benchmarks) > 0 && len(newRep.Benchmarks) > 0 {
 		fmt.Fprintf(w, "warning: no shared benchmarks between the artifacts — the comparison checked nothing\n")

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -246,8 +247,16 @@ BenchmarkSyncFastPath-8  100  20.0 ns/op
 	if pp.Metrics["ns/switch"] != 175.0 {
 		t.Fatalf("fold must keep the fastest run's metrics: %+v", pp.Metrics)
 	}
-	if fast := rep.Benchmarks[1]; fast.Samples != 0 {
-		t.Fatalf("single run grew a sample count: %+v", fast)
+	// Variance statistics over {441, 350, 512}.
+	wantMean := (441.0 + 350.0 + 512.0) / 3
+	if math.Abs(pp.MeanNs-wantMean) > 1e-9 || pp.MedianNs != 441.0 {
+		t.Fatalf("fold stats: mean %v median %v, want %v / 441", pp.MeanNs, pp.MedianNs, wantMean)
+	}
+	if pp.StddevNs <= 0 || math.Abs(pp.CV-pp.StddevNs/pp.MeanNs) > 1e-12 {
+		t.Fatalf("fold stats: stddev %v cv %v", pp.StddevNs, pp.CV)
+	}
+	if fast := rep.Benchmarks[1]; fast.Samples != 0 || fast.MeanNs != 0 || fast.CV != 0 {
+		t.Fatalf("single run grew a sample count or stats: %+v", fast)
 	}
 
 	// loadReport folds too, so a hand-concatenated artifact still
@@ -271,6 +280,54 @@ BenchmarkSyncFastPath-8  100  20.0 ns/op
 	}
 	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 100 || got.Benchmarks[0].Samples != 3 {
 		t.Fatalf("loadReport fold = %+v", got.Benchmarks)
+	}
+}
+
+// TestCompareCVAdvisory: `compare -cv` flags benchmarks whose recorded
+// coefficient of variation (either artifact's side) exceeds the bound,
+// but the flag is advisory — it never changes the regression count or
+// the exit status.
+func TestCompareCVAdvisory(t *testing.T) {
+	noisy := bench("p", "BenchmarkNoisy-8", 100)
+	noisy.Samples, noisy.CV = 5, 0.40
+	quiet := bench("p", "BenchmarkQuiet-8", 100)
+	quiet.Samples, quiet.CV = 5, 0.01
+	oldPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{noisy, quiet}})
+	noisyNew := bench("p", "BenchmarkNoisy-8", 105)
+	quietNew := bench("p", "BenchmarkQuiet-8", 105)
+	newPath := writeArtifact(t, &Report{Benchmarks: []Benchmark{noisyNew, quietNew}})
+
+	var out strings.Builder
+	regressed, err := runCompare(&out, []string{"-cv", "0.10", oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 0 {
+		t.Fatalf("advisory CV flag gated (%d regressions):\n%s", regressed, out.String())
+	}
+	for _, want := range []string{
+		"HIGH VARIANCE (cv 40.0% > 10.0%)",
+		"1 of 2 shared benchmarks exceed the 10.0% CV bound",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Count(out.String(), "HIGH VARIANCE") != 1 {
+		t.Fatalf("quiet benchmark flagged too:\n%s", out.String())
+	}
+
+	// Without -cv the same artifacts print no variance warnings, and a
+	// negative bound is rejected.
+	out.Reset()
+	if _, err := runCompare(&out, []string{oldPath, newPath}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "HIGH VARIANCE") {
+		t.Fatalf("CV warning without -cv:\n%s", out.String())
+	}
+	if _, err := runCompare(io.Discard, []string{"-cv", "-0.1", oldPath, newPath}); err == nil {
+		t.Error("negative -cv accepted")
 	}
 }
 

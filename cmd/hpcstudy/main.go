@@ -8,6 +8,7 @@
 //	hpcstudy validate <spec.json>
 //	hpcstudy serve -cache-dir DIR -listen ADDR [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]
 //	hpcstudy analyze -trace DIR [-o OUTDIR] [-diff "A=B"] [-top N] [-csv]
+//	hpcstudy fleetlog [-chrome FILE] [-csv] [-diff DIRB] <journal-dir>
 //	hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]
 //	hpcstudy help [verb]
 //
@@ -70,7 +71,18 @@
 // makespan, folded stacks for flamegraph tools, and -diff "A=B"
 // comparisons attributing the makespan delta between two cells to
 // specific phases. -progress streams cells-done/rate/ETA lines to
-// stderr as a sweep runs. The registry server exposes
+// stderr as a sweep runs.
+//
+// -fleetlog DIR makes serve and sweep append wall-clock fleet-trace
+// journals (one <proc>.fleetlog.jsonl per process: claims, leases,
+// heartbeats, store GETs/PUTs, cell runs, with trace/span IDs
+// propagated across the wire). The fleetlog verb merges a directory of
+// such journals from N processes, aligns their clocks via the
+// request/response edges, and prints a per-worker wall-clock
+// attribution table (simulate / wire / backoff / idle, tiling each
+// worker's observed span exactly); -chrome FILE additionally writes
+// the merged timeline as Chrome Trace Event JSON, and -diff DIRB
+// compares two runs' attributions. The registry server exposes
 // its own metrics (request counts and latencies, store hits/misses,
 // GC evictions) on GET /v1/metrics in Prometheus text format, and
 // serve -pprof ADDR opens an opt-in net/http/pprof listener. See the
@@ -124,8 +136,10 @@ type cliConfig struct {
 	progress   bool   // report sweep progress to stderr
 	pprofAddr  string // serve: opt-in net/http/pprof address
 	analyzeOut string // analyze: write the artifact tree here
-	diffSpec   string // analyze: "A=B" label substrings to compare
+	diffSpec   string // analyze: "A=B" label substrings to compare; fleetlog: run-B journal dir
 	top        int    // analyze: longest path segments to list
+	fleetlog   string // serve/sweep: append fleet-trace journals here
+	chromeOut  string // fleetlog: write the merged Chrome trace here
 
 	// Coordinated sweeps (serve -sweep hands out leases on /v1/work;
 	// the sweep verb pulls them).
@@ -145,6 +159,7 @@ var verbSummaries = [][2]string{
 	{"serve", "expose a -cache-dir store as a result registry over HTTP"},
 	{"sweep <study|spec>", "run a worker pulling leased cell batches from a coordinator (serve -sweep)"},
 	{"analyze", "attribute a traced run's virtual time: per-rank tables, critical path, A-vs-B diff"},
+	{"fleetlog", "merge -fleetlog journals into one wall-clock timeline and attribution table"},
 	{"gc", "evict store records by total size and/or last access"},
 	{"help [verb]", "print this summary, or one verb's flags"},
 }
@@ -157,9 +172,10 @@ var verbFlags = map[string][]string{
 	"run":      {"list", "csv", "v", "parallel", "trace", "progress", "cache-dir", "cache-url", "shard"},
 	"merge":    {"quick", "csv", "v", "parallel", "progress", "cache-dir", "cache-url"},
 	"validate": {},
-	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age", "pprof", "sweep", "lease-ttl", "lease-batch", "quick"},
-	"sweep":    {"coordinator", "worker", "quick", "v", "parallel", "cache-dir", "trace", "progress"},
+	"serve":    {"cache-dir", "listen", "gc-interval", "max-bytes", "max-age", "pprof", "sweep", "lease-ttl", "lease-batch", "quick", "fleetlog"},
+	"sweep":    {"coordinator", "worker", "quick", "v", "parallel", "cache-dir", "trace", "progress", "fleetlog"},
 	"analyze":  {"trace", "o", "diff", "top", "csv"},
+	"fleetlog": {"chrome", "csv", "diff"},
 	"gc":       {"cache-dir", "max-bytes", "max-age"},
 }
 
@@ -176,6 +192,7 @@ var verbSynopses = map[string]string{
 	"serve":    "hpcstudy serve -cache-dir DIR [-listen ADDR] [-sweep STUDY -lease-ttl DUR -lease-batch N] [-gc-interval DUR -max-bytes N -max-age DUR] [-pprof ADDR]",
 	"sweep":    "hpcstudy sweep -coordinator URL [-worker NAME] [flags] <fig1|fig2|spec.json>",
 	"analyze":  "hpcstudy analyze -trace DIR [-o OUTDIR] [-diff \"A=B\"] [-top N] [-csv]",
+	"fleetlog": "hpcstudy fleetlog [-chrome FILE] [-csv] [-diff DIRB] <journal-dir>",
 	"gc":       "hpcstudy gc -cache-dir DIR [-max-bytes N] [-max-age DUR]",
 }
 
@@ -245,8 +262,10 @@ func init() {
 	flag.StringVar(&cliFlags.coordinator, "coordinator", "", "sweep: coordinator registry URL (hpcstudy serve -sweep)")
 	flag.StringVar(&cliFlags.workerName, "worker", "", "sweep: worker name in coordinator logs (default host:pid)")
 	flag.StringVar(&cliFlags.analyzeOut, "o", "", "analyze: write summary/CSV/critical-path/folded artifacts into this directory")
-	flag.StringVar(&cliFlags.diffSpec, "diff", "", "analyze: compare two cells (\"A=B\", label substrings) and attribute the makespan delta")
+	flag.StringVar(&cliFlags.diffSpec, "diff", "", "analyze: compare two cells (\"A=B\", label substrings); fleetlog: a second journal dir to compare against")
 	flag.IntVar(&cliFlags.top, "top", 10, "analyze: longest critical-path segments to list (0 = all)")
+	flag.StringVar(&cliFlags.fleetlog, "fleetlog", "", "serve/sweep: append wall-clock fleet-trace journals into this directory")
+	flag.StringVar(&cliFlags.chromeOut, "chrome", "", "fleetlog: write the merged timeline as Chrome Trace Event JSON to this file (\"-\" = stdout)")
 }
 
 func main() {
@@ -256,7 +275,7 @@ func main() {
 	verb := ""
 	if len(args) > 0 {
 		switch args[0] {
-		case "serve", "gc", "merge", "run", "validate", "sweep", "analyze", "help":
+		case "serve", "gc", "merge", "run", "validate", "sweep", "analyze", "fleetlog", "help":
 			verb, args = args[0], args[1:]
 		}
 	}
@@ -266,7 +285,7 @@ func main() {
 	rest := flag.Args()
 	if verb == "" && len(rest) > 0 {
 		switch rest[0] {
-		case "merge", "run", "validate", "sweep", "analyze", "help":
+		case "merge", "run", "validate", "sweep", "analyze", "fleetlog", "help":
 			verb, rest = rest[0], rest[1:]
 		}
 	}
@@ -315,6 +334,12 @@ func main() {
 			os.Exit(2)
 		}
 		err = runAnalyze(os.Stdout, cfg)
+	case "fleetlog":
+		if len(rest) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = runFleetlog(os.Stdout, rest[0], cfg)
 	default:
 		if len(rest) != 1 {
 			flag.Usage()
@@ -424,12 +449,21 @@ func runServe(ctx context.Context, w io.Writer, cfg cliConfig) error {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
 	}
+	var journal *containerhpc.FleetJournal
+	if cfg.fleetlog != "" {
+		journal, err = containerhpc.OpenFleetJournal(cfg.fleetlog, "coordinator")
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		srvOpt.Journal = journal
+	}
 	if cfg.sweepStudy != "" {
 		// Coordinator mode: enumerate the study against the store so
 		// already-committed cells are never issued (a restart resumes
 		// with exactly the un-committed remainder), then hand out the
 		// rest as leased batches on /v1/work.
-		work, err := buildWorkQueue(w, store, cfg)
+		work, err := buildWorkQueue(w, store, cfg, journal)
 		if err != nil {
 			return err
 		}

@@ -80,7 +80,7 @@ func workCellsFor(name string, specs []containerhpc.CellSpec) ([]containerhpc.Wo
 // builds the lease queue: cells the store already holds (successes and
 // recorded failures alike) are marked done up front, so a restarted
 // coordinator resumes with exactly the un-committed remainder.
-func buildWorkQueue(w io.Writer, store *containerhpc.DirStore, cfg cliConfig) (*containerhpc.WorkQueue, error) {
+func buildWorkQueue(w io.Writer, store *containerhpc.DirStore, cfg cliConfig, journal *containerhpc.FleetJournal) (*containerhpc.WorkQueue, error) {
 	name, specs, err := sweepSpecs(cfg.sweepStudy, cfg)
 	if err != nil {
 		return nil, err
@@ -100,6 +100,7 @@ func buildWorkQueue(w io.Writer, store *containerhpc.DirStore, cfg cliConfig) (*
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
+		Journal: journal,
 	}), nil
 }
 
@@ -146,6 +147,14 @@ func runSweep(w io.Writer, which string, cfg cliConfig) error {
 		clientOpt.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	var journal *containerhpc.FleetJournal
+	if cfg.fleetlog != "" {
+		if journal, err = containerhpc.OpenFleetJournal(cfg.fleetlog, worker); err != nil {
+			return err
+		}
+		defer journal.Close()
+		clientOpt.Journal = journal
 	}
 	client, err := containerhpc.DialStoreWith(cfg.coordinator, clientOpt)
 	if err != nil {
@@ -197,6 +206,7 @@ func runSweep(w io.Writer, which string, cfg cliConfig) error {
 		Stamp:    stamp,
 		Parallel: par,
 		Logf:     logf,
+		Journal:  journal,
 		Progress: func() containerhpc.WorkerProgress {
 			progMu.Lock()
 			defer progMu.Unlock()

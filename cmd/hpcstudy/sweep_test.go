@@ -38,7 +38,7 @@ func TestSweepUsage(t *testing.T) {
 	}
 	// The coordinator side: serve -sweep refuses studies it cannot
 	// enumerate as one sweep.
-	_, err = buildWorkQueue(io.Discard, nil, cliConfig{sweepStudy: "fig3"})
+	_, err = buildWorkQueue(io.Discard, nil, cliConfig{sweepStudy: "fig3"}, nil)
 	if !errors.As(err, &ue) {
 		t.Fatalf("serve -sweep fig3: %v", err)
 	}

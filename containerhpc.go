@@ -40,6 +40,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleettrace"
 	"repro/internal/mesh"
 	"repro/internal/mpi"
 	"repro/internal/profile"
@@ -168,6 +169,19 @@ type (
 	// WorkerReport summarises its run (batches, cells, leases lost).
 	WorkerOptions = registry.WorkerOptions
 	WorkerReport  = registry.WorkerReport
+	// FleetJournal appends wall-clock fleet-trace events as JSONL
+	// (-fleetlog); FleetEvent is one journal record. Wire them via
+	// RegistryClientOptions.Journal, RegistryServerOptions.Journal,
+	// WorkQueueOptions.Journal, and WorkerOptions.Journal.
+	FleetJournal = telemetry.FleetJournal
+	FleetEvent   = telemetry.FleetEvent
+	// FleetRun is a merged, clock-aligned set of fleet journals;
+	// FleetAttribution one process's exact wall-clock partition
+	// (simulate / wire / backoff / idle); FleetAttribDiff one process's
+	// A-vs-B attribution delta.
+	FleetRun         = fleettrace.Run
+	FleetAttribution = fleettrace.WorkerAttribution
+	FleetAttribDiff  = fleettrace.AttribDiff
 	// MetricsRegistry is the zero-dependency metrics model (counters,
 	// gauges, histograms) behind -v output and the registry service's
 	// GET /v1/metrics endpoint.
@@ -457,6 +471,31 @@ func WorkStamp(study string, keys []string) string { return registry.WorkStamp(s
 func RunWorker(c *RegistryClient, opt WorkerOptions) (WorkerReport, error) {
 	return registry.RunWorker(c, opt)
 }
+
+// OpenFleetJournal opens (appending) the fleet-trace journal
+// <proc>.fleetlog.jsonl inside dir, creating dir if needed.
+func OpenFleetJournal(dir, proc string) (*FleetJournal, error) {
+	return telemetry.OpenFleetJournal(dir, proc)
+}
+
+// ReadFleetDir merges and clock-aligns every *.fleetlog.jsonl journal
+// under dir; ReadFleetFiles does the same for explicit paths. The
+// result is independent of discovery order.
+func ReadFleetDir(dir string) (*FleetRun, error)       { return fleettrace.ReadDir(dir) }
+func ReadFleetFiles(paths []string) (*FleetRun, error) { return fleettrace.ReadFiles(paths) }
+
+// FleetDiff pairs two runs' per-process attributions by name.
+func FleetDiff(a, b *FleetRun) ([]FleetAttribDiff, error) { return fleettrace.DiffRuns(a, b) }
+
+// RenderFleetAttribution and FleetAttributionCSV print a run's
+// per-process wall-clock table; RenderFleetDiff prints the A/B delta.
+func RenderFleetAttribution(w io.Writer, attrs []FleetAttribution) {
+	fleettrace.RenderAttribution(w, attrs)
+}
+func FleetAttributionCSV(w io.Writer, attrs []FleetAttribution) {
+	fleettrace.AttributionCSV(w, attrs)
+}
+func RenderFleetDiff(w io.Writer, diffs []FleetAttribDiff) { fleettrace.RenderDiff(w, diffs) }
 
 // Fig1 regenerates Figure 1 (container solutions on Lenox).
 func Fig1(opt Options) (*experiments.Fig1Result, error) { return experiments.Fig1(opt) }

@@ -1,0 +1,84 @@
+package fleettrace
+
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Clock alignment. Each process journals with its own wall clock;
+// merging them raw would shear the timeline by whatever the hosts'
+// clocks disagree by. The propagated span ids give us NTP's classic
+// remedy for free: every client request attempt [c.Start, c.End] that
+// the reference process served as [s.Start, s.End] (its "serve" span's
+// Parent is the client attempt's span id) is one offset measurement
+//
+//	θ = ((s.Start − c.Start) + (s.End − c.End)) / 2
+//
+// — the server-minus-client clock offset, exact when the network delay
+// is symmetric. We take the median θ over all of a process's edges,
+// which shrugs off the odd slow request; what survives is any
+// *asymmetric* delay (e.g. a chaos proxy delaying only one direction),
+// which biases the offset by half the asymmetry. That bound is
+// documented rather than fixed: journals record it via Edges so a
+// reader can judge the estimate's support.
+
+// align picks the reference process (the first, in name order, whose
+// journal serves requests) and estimates every other process's clock
+// offset against it from matched request/response edges.
+func align(run *Run) {
+	refIdx := -1
+	for i := range run.Procs {
+		if isServer(&run.Procs[i]) {
+			refIdx = i
+			break
+		}
+	}
+	if refIdx < 0 {
+		return
+	}
+	ref := &run.Procs[refIdx]
+	run.Reference = ref.Name
+	serveByParent := make(map[string]telemetry.FleetEvent)
+	for _, ev := range ref.Events {
+		if ev.Name == "serve" && ev.Parent != "" {
+			serveByParent[ev.Parent] = ev
+		}
+	}
+	for i := range run.Procs {
+		if i == refIdx {
+			continue
+		}
+		p := &run.Procs[i]
+		var thetas []int64
+		for _, ev := range p.Events {
+			if ev.Kind != telemetry.FleetSpan || ev.Span == "" {
+				continue
+			}
+			s, ok := serveByParent[ev.Span]
+			if !ok || s.EndNs == 0 || ev.EndNs == 0 {
+				continue
+			}
+			thetas = append(thetas, ((s.StartNs-ev.StartNs)+(s.EndNs-ev.EndNs))/2)
+		}
+		p.Edges = len(thetas)
+		if len(thetas) > 0 {
+			p.OffsetNs = median(thetas)
+		}
+	}
+}
+
+// median returns the middle value (mean of the central pair when even).
+// Mutates its argument by sorting.
+func median(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// AlignNs maps one of this process's timestamps onto the reference
+// clock.
+func (p *Proc) AlignNs(ts int64) int64 { return ts + p.OffsetNs }

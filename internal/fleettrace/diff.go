@@ -1,0 +1,90 @@
+package fleettrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Diff of two fleet runs: the per-worker attribution of A and B side by
+// side. This is the regression question fleet tracing exists to answer
+// — "run B converged slower; which worker's wall clock grew, and was it
+// simulate, wire, backoff, or idle?" — asked of the journals alone, so
+// it works on runs from different machines or days.
+
+// AttribDiff is one process's attribution delta (B minus A). A process
+// present in only one run carries that run's numbers and InA/InB marks
+// the gap.
+type AttribDiff struct {
+	Proc     string            `json:"proc"`
+	InA, InB bool              `json:"-"`
+	A, B     WorkerAttribution `json:"-"`
+}
+
+// DiffRuns pairs the two runs' attributions by process name.
+func DiffRuns(a, b *Run) ([]AttribDiff, error) {
+	attrA, err := a.Attribution()
+	if err != nil {
+		return nil, fmt.Errorf("run A: %w", err)
+	}
+	attrB, err := b.Attribution()
+	if err != nil {
+		return nil, fmt.Errorf("run B: %w", err)
+	}
+	byName := make(map[string]*AttribDiff)
+	var names []string
+	for _, at := range attrA {
+		byName[at.Proc] = &AttribDiff{Proc: at.Proc, InA: true, A: at}
+		names = append(names, at.Proc)
+	}
+	for _, bt := range attrB {
+		d, ok := byName[bt.Proc]
+		if !ok {
+			d = &AttribDiff{Proc: bt.Proc}
+			byName[bt.Proc] = d
+			names = append(names, bt.Proc)
+		}
+		d.InB, d.B = true, bt
+	}
+	sort.Strings(names)
+	out := make([]AttribDiff, 0, len(names))
+	for _, name := range names {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// RenderDiff writes the A/B attribution comparison.
+func RenderDiff(w io.Writer, diffs []AttribDiff) {
+	t := report.NewTable("Fleet wall-clock diff (B − A)",
+		"process", "span A", "span B", "Δspan", "Δsimulate", "Δwire", "Δbackoff", "Δidle")
+	for i := range diffs {
+		d := &diffs[i]
+		switch {
+		case !d.InB:
+			t.AddRow(d.Proc, ns(d.A.SpanNs), "absent", "", "", "", "", "")
+		case !d.InA:
+			t.AddRow(d.Proc, "absent", ns(d.B.SpanNs), "", "", "", "", "")
+		default:
+			t.AddRow(d.Proc, ns(d.A.SpanNs), ns(d.B.SpanNs),
+				signedNs(d.B.SpanNs-d.A.SpanNs),
+				signedNs(d.B.SimulateNs-d.A.SimulateNs),
+				signedNs(d.B.WireNs-d.A.WireNs),
+				signedNs(d.B.BackoffNs-d.A.BackoffNs),
+				signedNs(d.B.IdleNs-d.A.IdleNs))
+		}
+	}
+	t.Render(w)
+}
+
+// signedNs renders a delta with an explicit sign, so a shrink reads as
+// a win at a glance.
+func signedNs(v int64) string {
+	if v >= 0 {
+		return "+" + time.Duration(v).String()
+	}
+	return time.Duration(v).String()
+}

@@ -90,6 +90,9 @@ func DefaultConfig() *Config {
 		// profile attributes virtual time from kernel trace events; any
 		// wall-clock read there would corrupt the attribution.
 		"repro/internal/profile",
+		// fleettrace reconstructs timelines purely from journal bytes;
+		// reading the wall clock there would break byte-determinism.
+		"repro/internal/fleettrace",
 	}
 	return &Config{
 		Module:    "repro",
@@ -106,6 +109,7 @@ func DefaultConfig() *Config {
 			"repro/internal/telemetry",
 			"repro/internal/trace",
 			"repro/internal/profile",
+			"repro/internal/fleettrace",
 			"repro/cmd/...",
 		},
 		RandSource: []string{"repro/..."},
@@ -135,6 +139,11 @@ func DefaultConfig() *Config {
 			"repro/internal/profile.DiffReport",
 			"repro/internal/scenario.Spec",
 			"repro/internal/telemetry.chromeTrace",
+			"repro/internal/telemetry.FleetEvent",
+			"repro/internal/fleettrace.Run",
+			"repro/internal/fleettrace.chromeFleetTrace",
+			"repro/internal/fleettrace.WorkerAttribution",
+			"repro/internal/fleettrace.AttribDiff",
 		},
 		WireMixed: []string{"repro/..."},
 	}

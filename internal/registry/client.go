@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/resultdb"
+	"repro/internal/telemetry"
 )
 
 // ClientOptions tunes a registry client.
@@ -42,6 +43,12 @@ type ClientOptions struct {
 	// so a given worker's schedule is reproducible. Empty keeps the
 	// exact exponential schedule.
 	JitterKey string
+	// Journal, when non-nil, receives one wall-clock span per request
+	// attempt (and per backoff wait), and every request carries the
+	// journal's process identity and the attempt's span id in the
+	// X-Hpc-Trace/X-Hpc-Span headers — the correlation key that lets
+	// hpcstudy fleetlog join this client's journal with the server's.
+	Journal *telemetry.FleetJournal
 }
 
 // Client speaks the wire protocol and implements resultdb.Store, so a
@@ -58,6 +65,7 @@ type Client struct {
 	backoff   time.Duration
 	jitterKey string
 	logf      func(format string, args ...any)
+	journal   *telemetry.FleetJournal
 
 	lookups, hits, negHits, puts, putErrors, retried, prefetchSkips atomic.Int64
 
@@ -105,6 +113,7 @@ func Dial(baseURL string, opt ClientOptions) (*Client, error) {
 		backoff:   backoff,
 		jitterKey: opt.JitterKey,
 		logf:      opt.Logf,
+		journal:   opt.Journal,
 	}
 	status, data, err := c.do(http.MethodGet, "/v1/schema", nil)
 	if err != nil {
@@ -145,11 +154,18 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		span := c.journal.NewSpan()
+		if span != "" {
+			req.Header.Set(headerTrace, c.journal.Proc())
+			req.Header.Set(headerSpan, span)
+		}
+		spanStart := c.journal.Now()
 		resp, err := c.hc.Do(req)
 		if err == nil {
 			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
 			resp.Body.Close()
 			if rerr == nil && !transientStatus(resp.StatusCode) {
+				c.journalAttempt(method, path, span, spanStart, wireOutcome(resp.StatusCode, data), "")
 				return resp.StatusCode, data, nil
 			}
 			if rerr != nil {
@@ -160,6 +176,7 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 		} else {
 			lastErr = err
 		}
+		c.journalAttempt(method, path, span, spanStart, "retry", lastErr.Error())
 		if attempt >= c.retries {
 			return 0, nil, fmt.Errorf("registry: %s %s%s: %w (%d attempts)",
 				method, c.base, path, lastErr, attempt+1)
@@ -174,9 +191,68 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 			c.logf("registry: %s %s%s: %v; retry %d of %d in %v",
 				method, c.base, path, lastErr, attempt+1, c.retries, delay)
 		}
+		backoffStart := c.journal.Now()
 		//lint:allow wallclock -- retry backoff is transport pacing; cell contents are unaffected by when a request lands
 		time.Sleep(delay)
+		c.journal.Emit(telemetry.FleetEvent{
+			Kind: telemetry.FleetSpan, Name: "backoff", Parent: span,
+			StartNs: backoffStart, EndNs: c.journal.Now(),
+			Outcome: "ok", Label: wireOpName(method, path),
+		})
 	}
+}
+
+// journalAttempt records one request attempt as a wire span.
+func (c *Client) journalAttempt(method, path, span string, start int64, outcome, detail string) {
+	if span == "" {
+		return
+	}
+	c.journal.Emit(telemetry.FleetEvent{
+		Kind: telemetry.FleetSpan, Name: wireOpName(method, path), Span: span,
+		StartNs: start, EndNs: c.journal.Now(),
+		Outcome: outcome, Label: method + " " + path, Detail: detail,
+	})
+}
+
+// wireOpName names a request for journals: the operation, not the URL,
+// so fleetlog attribution buckets GETs of different cells together.
+func wireOpName(method, path string) string {
+	switch {
+	case path == "/v1/schema":
+		return "schema"
+	case path == "/v1/manifest":
+		return "manifest"
+	case path == "/v1/work/claim":
+		return "claim"
+	case path == "/v1/work/heartbeat":
+		return "heartbeat"
+	case path == "/v1/work/complete":
+		return "complete"
+	case path == "/v1/work":
+		return "work-status"
+	case strings.HasPrefix(path, "/v1/cells/") && method == http.MethodPut:
+		return "store-put"
+	case strings.HasPrefix(path, "/v1/cells/"):
+		return "store-get"
+	}
+	return method + " " + path
+}
+
+// wireOutcome types a settled (non-retried) response for journals: the
+// wire error code when the server sent one, else ok/miss/error by
+// status class.
+func wireOutcome(status int, data []byte) string {
+	if status >= 200 && status < 300 {
+		return "ok"
+	}
+	var we wireError
+	if json.Unmarshal(data, &we) == nil && we.Code != "" && we.Code != codeNotFound {
+		return we.Code
+	}
+	if status == http.StatusNotFound {
+		return "miss"
+	}
+	return "error"
 }
 
 // statusError describes a failed response for retry logs and final

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file is the sweep coordinator's control plane: a WorkQueue of
@@ -112,6 +114,12 @@ type WorkerStatus struct {
 	// LastSeenMillis is how long ago the worker last contacted the
 	// coordinator (claim, heartbeat, or completion).
 	LastSeenMillis int64 `json:"last_seen_ms"`
+	// Stale marks a worker silent for over three heartbeat intervals
+	// while the sweep is still running — enough missed renewals that a
+	// healthy worker is all but ruled out, yet early enough to flag the
+	// stall before its lease expires. Never set once the sweep is done
+	// (every worker goes quiet then, legitimately).
+	Stale bool `json:"stale,omitempty"`
 	// Progress is the worker's latest heartbeat-reported summary.
 	Progress WorkerProgress `json:"progress"`
 }
@@ -161,6 +169,12 @@ type QueueOptions struct {
 	Committed func(key string) bool
 	// Logf, when non-nil, receives one line per lease lifecycle event.
 	Logf func(format string, args ...any)
+	// Journal, when non-nil, records each lease's full lifetime as a
+	// wall-clock span when it settles (completed, failed, or expired),
+	// parented on the claiming request's propagated span id, plus one
+	// "requeue" point per batch returned to the queue. Timestamps come
+	// from Clock, so fake-clock tests journal deterministically.
+	Journal *telemetry.FleetJournal
 }
 
 // workLease is the server-side lease record.
@@ -169,6 +183,10 @@ type workLease struct {
 	worker   string
 	cells    []WorkCell
 	deadline time.Time
+	// granted anchors the lease's journal span; origin is the claiming
+	// request's propagated span id (the cross-process parent link).
+	granted time.Time
+	origin  string
 }
 
 // WorkQueue coordinates one sweep across a fleet of workers: it hands
@@ -307,8 +325,12 @@ func (q *WorkQueue) logf(format string, args ...any) {
 // expire revokes every lease whose deadline has passed, requeueing the
 // cells its worker did not commit. Called under q.mu by every public
 // operation, so silence is detected at the next wire activity — no
-// timer goroutine, and tests drive it with the injected clock.
-func (q *WorkQueue) expire(now time.Time) workEvents {
+// timer goroutine, and tests drive it with the injected clock. The
+// trigger is the propagated span id of the request whose activity
+// surfaced the expiry (a successor's claim, a status poll), journaled
+// as the requeue's parent — a SIGKILLed worker's orphaned lease span
+// thereby links to whoever inherited its work.
+func (q *WorkQueue) expire(now time.Time, trigger string) workEvents {
 	var ev workEvents
 	var overdue []string
 	for id, l := range q.leases {
@@ -334,10 +356,40 @@ func (q *WorkQueue) expire(now time.Time) workEvents {
 			q.pending = append([][]WorkCell{remaining}, q.pending...)
 			q.requeue++
 		}
+		q.journalLease(l, now, "expired", len(remaining))
+		q.journalRequeue(l, now, trigger, len(remaining))
 		q.logf("coordinator: lease %s (%s) expired: %d cells committed, %d requeued",
 			l.id, l.worker, len(l.cells)-len(remaining), len(remaining))
 	}
 	return ev
+}
+
+// journalLease records a settled lease's full lifetime as a span on
+// the coordinator's journal: Span is the lease id, Parent the claiming
+// request's span — the one journal entry that survives a worker which
+// could not write its own (SIGKILL).
+func (q *WorkQueue) journalLease(l *workLease, now time.Time, outcome string, requeued int) {
+	q.opt.Journal.Emit(telemetry.FleetEvent{
+		Kind: telemetry.FleetSpan, Name: "lease", Span: l.id, Parent: l.origin,
+		StartNs: l.granted.UnixNano(), EndNs: now.UnixNano(),
+		Outcome: outcome, Label: l.worker,
+		Detail: fmt.Sprintf("%d cells, %d requeued", len(l.cells), requeued),
+	})
+}
+
+// journalRequeue records cells returning to the queue, parented on the
+// request whose activity caused it (the failing completion, or the
+// successor call that surfaced an expiry).
+func (q *WorkQueue) journalRequeue(l *workLease, now time.Time, trigger string, requeued int) {
+	if requeued == 0 {
+		return
+	}
+	q.opt.Journal.Emit(telemetry.FleetEvent{
+		Kind: telemetry.FleetPoint, Name: "requeue", Parent: trigger,
+		StartNs: now.UnixNano(),
+		Outcome: "requeued", Label: l.id,
+		Detail: fmt.Sprintf("%d cells from %s", requeued, l.worker),
+	})
 }
 
 // dropCommitted partitions a revoked or failed batch: committed cells
@@ -359,10 +411,16 @@ func (q *WorkQueue) dropCommitted(cells []WorkCell) []WorkCell {
 // (the worker should exit), otherwise wait (retry after the returned
 // interval — an active lease may yet expire and requeue its cells).
 func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, done bool, ev workEvents) {
+	return q.ClaimFrom(worker, "")
+}
+
+// ClaimFrom is Claim carrying the claiming request's propagated span
+// id, recorded as the lease's journal origin.
+func (q *WorkQueue) ClaimFrom(worker, origin string) (lease *WorkLease, wait time.Duration, done bool, ev workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
-	ev = q.expire(now)
+	ev = q.expire(now, origin)
 	q.touch(worker, now)
 	if len(q.pending) == 0 {
 		if len(q.leases) == 0 && q.done == q.total {
@@ -378,6 +436,8 @@ func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, 
 		worker:   worker,
 		cells:    cells,
 		deadline: now.Add(q.opt.LeaseTTL),
+		granted:  now,
+		origin:   origin,
 	}
 	q.leases[l.id] = l
 	rec := q.workers[worker]
@@ -402,10 +462,16 @@ func (q *WorkQueue) Claim(worker string) (lease *WorkLease, wait time.Duration, 
 // either way). The worker name comes back so the server can label
 // per-worker metrics without a second lookup.
 func (q *WorkQueue) Heartbeat(id string, p *WorkerProgress) (worker string, ok bool, ev workEvents) {
+	return q.HeartbeatFrom(id, p, "")
+}
+
+// HeartbeatFrom is Heartbeat carrying the renewing request's propagated
+// span id (the parent of any requeue its expiry sweep causes).
+func (q *WorkQueue) HeartbeatFrom(id string, p *WorkerProgress, origin string) (worker string, ok bool, ev workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
-	ev = q.expire(now)
+	ev = q.expire(now, origin)
 	l, live := q.leases[id]
 	if !live {
 		return "", false, ev
@@ -430,10 +496,16 @@ func (q *WorkQueue) Heartbeat(id string, p *WorkerProgress) (worker string, ok b
 // each failed requeue is strictly smaller: poisoned cells cannot
 // loop. ok=false means the lease had already been revoked.
 func (q *WorkQueue) Complete(id string, failed bool, p *WorkerProgress) (worker string, ok bool, ev workEvents) {
+	return q.CompleteFrom(id, failed, p, "")
+}
+
+// CompleteFrom is Complete carrying the settling request's propagated
+// span id (the parent of a failed batch's requeue).
+func (q *WorkQueue) CompleteFrom(id string, failed bool, p *WorkerProgress, origin string) (worker string, ok bool, ev workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
-	ev = q.expire(now)
+	ev = q.expire(now, origin)
 	l, live := q.leases[id]
 	if !live {
 		return "", false, ev
@@ -449,6 +521,7 @@ func (q *WorkQueue) Complete(id string, failed bool, p *WorkerProgress) (worker 
 	}
 	if !failed {
 		q.done += len(l.cells)
+		q.journalLease(l, now, "completed", 0)
 		q.logf("coordinator: lease %s (%s) complete: %d cells (%d/%d done)",
 			l.id, l.worker, len(l.cells), q.done, q.total)
 		return worker, true, ev
@@ -459,6 +532,8 @@ func (q *WorkQueue) Complete(id string, failed bool, p *WorkerProgress) (worker 
 		q.pending = append([][]WorkCell{remaining}, q.pending...)
 		q.requeue++
 	}
+	q.journalLease(l, now, "failed", len(remaining))
+	q.journalRequeue(l, now, origin, len(remaining))
 	q.logf("coordinator: lease %s (%s) failed: %d cells committed, %d requeued (%d/%d done)",
 		l.id, l.worker, len(l.cells)-len(remaining), len(remaining), q.done, q.total)
 	return worker, true, ev
@@ -477,7 +552,7 @@ func (q *WorkQueue) Fleet() (WorkStatus, []WorkerStatus, workEvents) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opt.Clock()
-	ev := q.expire(now)
+	ev := q.expire(now, "")
 	pending, leased := 0, 0
 	for _, b := range q.pending {
 		pending += len(b)
@@ -511,6 +586,7 @@ func (q *WorkQueue) Fleet() (WorkStatus, []WorkerStatus, workEvents) {
 			Lease:          rec.lease,
 			Batches:        rec.batches,
 			LastSeenMillis: now.Sub(rec.lastSeen).Milliseconds(),
+			Stale:          !st.Done && now.Sub(rec.lastSeen) > 3*q.opt.Heartbeat,
 			Progress:       rec.progress,
 		}
 		if l, ok := q.leases[rec.lease]; ok {

@@ -48,6 +48,17 @@ import (
 // headerSchema carries the client's schema stamp on every request.
 const headerSchema = "Registry-Schema"
 
+// Fleet-trace propagation headers. The client stamps every request with
+// its journal's process identity (trace) and a per-attempt span id; the
+// server echoes both into its access log and journal, and the lease
+// manager records the claiming span as a lease's origin. Merged
+// journals (hpcstudy fleetlog) join on these ids to reconstruct one
+// cross-process timeline.
+const (
+	headerTrace = "X-Hpc-Trace"
+	headerSpan  = "X-Hpc-Span"
+)
+
 // Typed error codes in wire error bodies.
 const (
 	codeSchemaMismatch = "schema-mismatch"

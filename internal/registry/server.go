@@ -43,6 +43,11 @@ type ServerOptions struct {
 	// the /v1/work lease API hands out this queue's batches. Nil
 	// servers answer work requests with a typed 404.
 	Work *WorkQueue
+	// Journal, when non-nil, records one wall-clock "serve" span per
+	// request, linked to the client attempt that caused it via the
+	// propagated X-Hpc-Trace/X-Hpc-Span headers. Lease lifecycle events
+	// are journaled by the WorkQueue's own Journal option.
+	Journal *telemetry.FleetJournal
 	// ReadTimeout/WriteTimeout/IdleTimeout bound each connection so a
 	// stalled peer cannot pin server resources forever. Defaults: 2m
 	// read, 2m write, 5m idle. The read/write bounds comfortably cover
@@ -89,6 +94,7 @@ func NewServer(store *resultdb.DirStore, opt ServerOptions) *Server {
 		opt.IdleTimeout = 5 * time.Minute
 	}
 	s := &Server{store: store, opt: opt, mux: http.NewServeMux(), metrics: telemetry.NewRegistry()}
+	opt.Journal.CountDropsIn(s.metrics)
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/manifest", s.handleManifest)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -150,6 +156,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer inflight.Add(-1)
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	trace, parent := r.Header.Get(headerTrace), r.Header.Get(headerSpan)
+	spanStart := s.opt.Journal.Now()
 	//lint:allow wallclock -- request latency is operator telemetry; it never reaches records or figures
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
@@ -160,6 +168,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		telemetry.L("status", strconv.Itoa(sw.status))).Inc()
 	s.metrics.Histogram("registry_request_seconds", "Request latency by route.",
 		requestBuckets, telemetry.L("route", route)).Observe(elapsed.Seconds())
+	outcome := "ok"
+	if sw.status >= 400 {
+		outcome = "error"
+	}
+	s.opt.Journal.Emit(telemetry.FleetEvent{
+		Kind: telemetry.FleetSpan, Name: "serve", Span: s.opt.Journal.NewSpan(),
+		Parent: parent, Trace: trace,
+		StartNs: spanStart, EndNs: s.opt.Journal.Now(),
+		Outcome: outcome, Label: route,
+		Detail: fmt.Sprintf("%s %s: %d", r.Method, r.URL.Path, sw.status),
+	})
+	if trace != "" || parent != "" {
+		s.logf("registry: req %d: %s %s from %s: %d (%v) [%s/%s]",
+			id, r.Method, r.URL.Path, r.RemoteAddr, sw.status, elapsed.Round(time.Microsecond), trace, parent)
+		return
+	}
 	s.logf("registry: req %d: %s %s from %s: %d (%v)",
 		id, r.Method, r.URL.Path, r.RemoteAddr, sw.status, elapsed.Round(time.Microsecond))
 }

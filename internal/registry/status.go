@@ -87,6 +87,8 @@ th:first-child, td:first-child { text-align: left; }
 .bar { background: #eee; width: 16rem; height: 1rem; border-radius: 2px; }
 .bar div { background: #2a7; height: 100%; border-radius: 2px; }
 .muted { color: #777; }
+.stale td { background: #fce8e6; }
+.stale td:first-child::after { content: " ⚠"; }
 </style>
 </head>
 <body>
@@ -104,11 +106,11 @@ th:first-child, td:first-child { text-align: left; }
 <table>
 <tr><th>worker</th><th>lease</th><th>batches</th><th>cells</th><th>simulated</th><th>replayed</th><th>failures</th><th>virtual s</th><th>comm s</th><th>last seen</th></tr>
 {{range .Workers}}
-<tr><td>{{.Name}}</td><td>{{if .Lease}}{{.Lease}} ({{.LeaseCells}} cells){{else}}&mdash;{{end}}</td>
+<tr{{if .Stale}} class="stale"{{end}}><td>{{.Name}}</td><td>{{if .Lease}}{{.Lease}} ({{.LeaseCells}} cells){{else}}&mdash;{{end}}</td>
 <td>{{.Batches}}</td><td>{{.Progress.Cells}}</td><td>{{.Progress.Simulated}}</td>
 <td>{{.Progress.Replayed}}</td><td>{{.Progress.Failures}}</td>
 <td>{{printf "%.3f" .Progress.VirtualSeconds}}</td><td>{{printf "%.3f" .Progress.CommSeconds}}</td>
-<td>{{.LastSeenMillis}} ms ago</td></tr>
+<td>{{.LastSeenMillis}} ms ago{{if .Stale}} <strong>stalled?</strong>{{end}}</td></tr>
 {{end}}
 </table>
 {{else}}<p class="muted">no workers have contacted this coordinator yet</p>{{end}}

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/resultdb"
 )
@@ -131,6 +132,77 @@ func TestFleetStatusAggregatesWorkers(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("scrape lacks %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestStatusStaleWorkerHighlight: a worker silent for over three
+// heartbeat intervals while the sweep is still running is flagged
+// stale in the JSON snapshot and highlighted on the HTML page; once
+// the sweep is done, silence is legitimate and nothing is flagged.
+func TestStatusStaleWorkerHighlight(t *testing.T) {
+	store, err := resultdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	clock := newFakeClock()
+	q := NewWorkQueue(cellsNamed("g", "k1", "k2"), QueueOptions{
+		Study: "fig2", BatchSize: 1, LeaseTTL: 30 * time.Minute, Heartbeat: time.Minute, Clock: clock.Now,
+	})
+	ts := httptest.NewServer(NewServer(store, ServerOptions{Work: q}))
+	defer ts.Close()
+
+	// "stalled" finishes its batch, then goes silent for five heartbeat
+	// intervals while "fresh" is still working.
+	l1, _, _, _ := q.Claim("stalled")
+	if l1 == nil {
+		t.Fatal("claim not granted")
+	}
+	if _, ok, _ := q.Complete(l1.ID, false, nil); !ok {
+		t.Fatal("complete rejected")
+	}
+	clock.Advance(5 * time.Minute)
+	if l2, _, _, _ := q.Claim("fresh"); l2 == nil {
+		t.Fatal("second claim not granted")
+	}
+	var fs FleetStatus
+	_, _, body := getBody(t, ts.URL, "/v1/status")
+	if err := json.Unmarshal([]byte(body), &fs); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]WorkerStatus{}
+	for _, w := range fs.Workers {
+		byName[w.Name] = w
+	}
+	if !byName["stalled"].Stale || byName["fresh"].Stale {
+		t.Fatalf("staleness misattributed: %+v", fs.Workers)
+	}
+	_, _, page := getBody(t, ts.URL, "/")
+	if !strings.Contains(page, `class="stale"`) || !strings.Contains(page, "stalled?") {
+		t.Fatalf("status page does not highlight the stale worker:\n%s", page)
+	}
+
+	// "fresh" drains the sweep; the old silence no longer means stall.
+	st, workers, _ := q.Fleet()
+	lease := ""
+	for _, w := range workers {
+		if w.Name == "fresh" {
+			lease = w.Lease
+		}
+	}
+	if _, ok, _ := q.Complete(lease, false, nil); !ok {
+		t.Fatal("final complete rejected")
+	}
+	if st, _, _ = q.Fleet(); !st.Done {
+		t.Fatalf("sweep not done: %+v", st)
+	}
+	_, _, body = getBody(t, ts.URL, "/v1/status")
+	if strings.Contains(body, `"stale":true`) {
+		t.Fatalf("worker flagged stale after the sweep finished:\n%s", body)
+	}
+	_, _, page = getBody(t, ts.URL, "/")
+	if strings.Contains(page, "stalled?") {
+		t.Fatalf("stale highlight survives a finished sweep:\n%s", page)
 	}
 }
 

@@ -121,7 +121,7 @@ func (s *Server) handleWorkClaim(w http.ResponseWriter, r *http.Request) {
 	if req.Worker == "" {
 		req.Worker = r.RemoteAddr
 	}
-	lease, wait, done, ev := s.opt.Work.Claim(req.Worker)
+	lease, wait, done, ev := s.opt.Work.ClaimFrom(req.Worker, r.Header.Get(headerSpan))
 	s.noteWorkEvents(ev)
 	defer s.refreshWorkGauges()
 	switch {
@@ -164,7 +164,7 @@ func (s *Server) handleWorkHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	worker, alive, ev := s.opt.Work.Heartbeat(req.Lease, req.Progress)
+	worker, alive, ev := s.opt.Work.HeartbeatFrom(req.Lease, req.Progress, r.Header.Get(headerSpan))
 	s.noteWorkEvents(ev)
 	result := "ok"
 	if !alive {
@@ -193,7 +193,7 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	worker, settled, ev := s.opt.Work.Complete(req.Lease, req.Failed, req.Progress)
+	worker, settled, ev := s.opt.Work.CompleteFrom(req.Lease, req.Failed, req.Progress, r.Header.Get(headerSpan))
 	s.noteWorkEvents(ev)
 	defer s.refreshWorkGauges()
 	if settled && req.Progress != nil {

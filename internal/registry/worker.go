@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // WorkerOptions tunes one coordinated-sweep worker.
@@ -30,6 +32,11 @@ type WorkerOptions struct {
 	// snapshot rides to the coordinator, which serves it on
 	// GET /v1/status. Must be safe to call concurrently with Run.
 	Progress func() WorkerProgress
+	// Journal, when non-nil, records this worker's view of each lease
+	// as a wall-clock span (claim success to settle) and each cell as a
+	// nested "simulate" span, so fleetlog can attribute the worker's
+	// wall time between simulation, wire waits, and idling.
+	Journal *telemetry.FleetJournal
 }
 
 // WorkerReport summarises one worker's run.
@@ -99,11 +106,21 @@ func RunWorker(c *Client, opt WorkerOptions) (WorkerReport, error) {
 				lease.Study, lease.Stamp, opt.Stamp)
 		}
 		logf("worker %s: lease %s: %d cells", opt.Name, lease.ID, len(lease.Cells))
-		cells, failures, lost := runLease(c, lease, opt, logf)
+		leaseSpan, leaseStart := opt.Journal.NewSpan(), opt.Journal.Now()
+		settleLease := func(outcome string) {
+			opt.Journal.Emit(telemetry.FleetEvent{
+				Kind: telemetry.FleetSpan, Name: "lease", Span: leaseSpan,
+				StartNs: leaseStart, EndNs: opt.Journal.Now(),
+				Outcome: outcome, Label: lease.ID,
+				Detail: fmt.Sprintf("%d cells", len(lease.Cells)),
+			})
+		}
+		cells, failures, lost := runLease(c, lease, opt, logf, leaseSpan)
 		rep.Cells += cells
 		rep.Failures += failures
 		if lost {
 			rep.LeasesLost++
+			settleLease("lost")
 			logf("worker %s: lease %s lost; abandoning its remaining cells (committed work is kept)", opt.Name, lease.ID)
 			continue
 		}
@@ -114,16 +131,23 @@ func RunWorker(c *Client, opt WorkerOptions) (WorkerReport, error) {
 		}
 		ok, err := c.CompleteWork(lease.ID, failures > 0, completionNote(failures), progress)
 		if err != nil {
+			settleLease("lost")
 			return rep, resumable(fmt.Errorf("completing lease %s: %w", lease.ID, err))
 		}
 		if !ok {
 			// Expired between the last heartbeat and completion: the
 			// coordinator already requeued whatever we had not committed.
 			rep.LeasesLost++
+			settleLease("lost")
 			logf("worker %s: lease %s expired before completion", opt.Name, lease.ID)
 			continue
 		}
 		rep.Batches++
+		if failures > 0 {
+			settleLease("failed")
+		} else {
+			settleLease("ok")
+		}
 	}
 }
 
@@ -142,7 +166,7 @@ func completionNote(failures int) string {
 // runLease heartbeats one lease in the background while its cells run
 // on a bounded pool. Returns the number of cells run, how many failed,
 // and whether the lease was lost mid-batch.
-func runLease(c *Client, lease *WorkLease, opt WorkerOptions, logf func(string, ...any)) (cells, failures int, lost bool) {
+func runLease(c *Client, lease *WorkLease, opt WorkerOptions, logf func(string, ...any), leaseSpan string) (cells, failures int, lost bool) {
 	var gone atomic.Bool
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
@@ -193,7 +217,17 @@ func runLease(c *Client, lease *WorkLease, opt WorkerOptions, logf func(string, 
 		go func(cell WorkCell) {
 			defer run.Done()
 			defer func() { <-sem }()
+			cellSpan, cellStart := opt.Journal.NewSpan(), opt.Journal.Now()
 			err := opt.Run(cell)
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			opt.Journal.Emit(telemetry.FleetEvent{
+				Kind: telemetry.FleetSpan, Name: "simulate", Span: cellSpan, Parent: leaseSpan,
+				StartNs: cellStart, EndNs: opt.Journal.Now(),
+				Outcome: outcome, Label: cell.Label, Detail: cell.Key,
+			})
 			mu.Lock()
 			cells++
 			if err != nil {
